@@ -1,0 +1,37 @@
+"""F3 — search cost to reach near-optimal configurations.
+
+Shares the memoised comparison sweep with F2.  The timed kernel is the
+metric-extraction pass over a full comparison (cheap, but it is the code
+path every experiment report runs).
+"""
+
+from conftest import emit
+from repro.harness.experiments import _core_comparisons, exp_f3_search_cost
+from repro.harness import metrics
+
+
+def bench_f3_search_cost(benchmark):
+    table = emit(exp_f3_search_cost(nodes=16, budget_trials=36, repeats=2, seed=0))
+    assert "mlconfig-bo" in table
+
+    comparisons = _core_comparisons(16, 36, 2, 0)
+
+    def kernel():
+        rows = []
+        for comparison in comparisons.values():
+            for outcome in comparison.outcomes.values():
+                for result in outcome.results:
+                    rows.append(
+                        (
+                            metrics.trials_to_within(
+                                result, comparison.optimum_value, 0.05
+                            ),
+                            metrics.cost_to_within(
+                                result, comparison.optimum_value, 0.05
+                            ),
+                        )
+                    )
+        return rows
+
+    rows = benchmark(kernel)
+    assert rows

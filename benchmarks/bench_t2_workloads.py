@@ -1,0 +1,23 @@
+"""T2 — the workload-suite table, plus analytic-model timing over the zoo."""
+
+from conftest import emit
+from repro.cluster import homogeneous
+from repro.harness.experiments import exp_t2_workloads
+from repro.mlsim import TrainingConfig, estimate
+from repro.workloads import iter_suite
+
+
+def bench_t2_workloads(benchmark):
+    emit(exp_t2_workloads())
+
+    cluster = homogeneous(16, jitter_cv=0.0)
+    config = TrainingConfig(num_workers=8, num_ps=4, batch_per_worker=64)
+
+    def kernel():
+        return [estimate(config, workload, cluster) for workload in iter_suite()]
+
+    from repro.workloads import SUITE
+
+    estimates = benchmark(kernel)
+    assert len(estimates) == len(SUITE)
+    assert all(e.throughput > 0 for e in estimates)

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Head-to-head tuner comparison on a communication-bound workload.
+
+Runs the BO tuner against CherryPick-style BO, random search, simulated
+annealing, and coordinate descent on word2vec (the hardest workload for
+naive tuning: the PS configuration dominates) and prints the convergence
+table — the data behind figure F2.
+
+Run:  python examples/compare_tuners.py
+"""
+
+from repro.cluster import homogeneous
+from repro.core import TuningBudget
+from repro.harness import render_series
+from repro.harness.comparison import compare_strategies, standard_strategy_set
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    nodes = 16
+    workload = get_workload("word2vec-wiki")
+    comparison = compare_strategies(
+        standard_strategy_set(),
+        workload,
+        homogeneous(nodes),
+        TuningBudget(max_trials=25),
+        repeats=2,
+        seed=0,
+    )
+
+    print(f"Workload: {workload.name} (FLOP/byte = {workload.compute_comm_ratio:.3f})")
+    print(f"True optimum: {comparison.optimum_value:.1f} samples/s with")
+    for knob, value in sorted(comparison.optimum_config.items()):
+        print(f"  {knob:>20} = {value}")
+    print()
+
+    checkpoints = [2, 4, 8, 12, 16, 20, 25]
+    series = {}
+    for name, outcome in comparison.outcomes.items():
+        series[name] = [
+            outcome.mean_curve[min(c, len(outcome.mean_curve)) - 1]
+            for c in checkpoints
+        ]
+    print(render_series(
+        "trial", checkpoints, series,
+        title="Mean normalized best-so-far (fraction of true optimum)",
+    ))
+
+    print("\nRanking:", " > ".join(comparison.ranking()))
+
+
+if __name__ == "__main__":
+    main()

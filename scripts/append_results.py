@@ -1,0 +1,34 @@
+"""Inline benchmarks/results/*.txt into EXPERIMENTS.md (append once).
+
+Run after ``pytest benchmarks/ --benchmark-only`` to record the measured
+tables of a reference run.
+"""
+
+import os
+
+ORDER = [
+    "T1", "T2", "T3",
+    "F1", "F2", "F3", "F4", "F5", "F6",
+    "A1", "A2", "A3",
+    "E1", "E2", "V1",
+]
+
+
+def main() -> None:
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    blocks = []
+    for exp_id in ORDER:
+        path = os.path.join(root, "benchmarks", "results", f"{exp_id}.txt")
+        if not os.path.exists(path):
+            print(f"missing {exp_id} (run the benchmark suite first)")
+            continue
+        with open(path) as handle:
+            content = handle.read().rstrip()
+        blocks.append("```\n" + content + "\n```\n")
+    with open(os.path.join(root, "EXPERIMENTS.md"), "a") as handle:
+        handle.write("\n".join(blocks))
+    print(f"appended {len(blocks)} tables to EXPERIMENTS.md")
+
+
+if __name__ == "__main__":
+    main()

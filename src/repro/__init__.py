@@ -1,0 +1,46 @@
+"""repro — reproduction of "Automating System Configuration of Distributed
+Machine Learning" (ICDCS 2019).
+
+A Bayesian-optimisation configuration tuner for distributed ML training,
+plus everything needed to evaluate it offline: a discrete-event cluster and
+training simulator, a workload zoo, comparator tuners, and a benchmark
+harness that regenerates every table and figure of the (reconstructed)
+evaluation.
+
+Quickstart::
+
+    from repro import MLConfigTuner, TuningBudget
+    from repro.cluster import homogeneous
+    from repro.configspace import ml_config_space
+    from repro.mlsim import TrainingEnvironment
+    from repro.workloads import get_workload
+
+    env = TrainingEnvironment(get_workload("resnet50-imagenet"), homogeneous(16))
+    result = MLConfigTuner().run(env, ml_config_space(16), TuningBudget(max_trials=40))
+    print(result.best_config)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core import (
+    MLConfigTuner,
+    SearchStrategy,
+    TrialHistory,
+    TuningBudget,
+    TuningResult,
+)
+from repro.mlsim import TrainingConfig, TrainingEnvironment
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "MLConfigTuner",
+    "SearchStrategy",
+    "TrainingConfig",
+    "TrainingEnvironment",
+    "TrialHistory",
+    "TuningBudget",
+    "TuningResult",
+    "__version__",
+]

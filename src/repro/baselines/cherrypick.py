@@ -1,0 +1,74 @@
+"""CherryPick-style Bayesian optimisation baseline (Alipourfard et al., NSDI'17).
+
+CherryPick tunes cloud configurations with a plain-EI GP and a confidence-
+based stopping rule: stop once the best candidate's expected improvement
+falls below a fraction of the incumbent.  Compared to the paper's tuner it
+lacks the cost-aware acquisition and early termination — exactly the deltas
+the ablations isolate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.configspace import ConfigDict, ConfigSpace
+from repro.core.bo import BayesianProposer
+from repro.core.strategy import SearchStrategy
+from repro.core.trial import TrialHistory
+
+
+class CherryPick(SearchStrategy):
+    """GP + plain EI + EI-threshold stopping, no early termination."""
+
+    name = "cherrypick"
+
+    def __init__(
+        self,
+        n_initial: int = 8,
+        ei_stop_fraction: float = 0.02,
+        min_trials: int = 12,
+        n_candidates: int = 512,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= ei_stop_fraction < 1.0:
+            raise ValueError("ei_stop_fraction must be in [0, 1)")
+        self.n_initial = n_initial
+        self.ei_stop_fraction = ei_stop_fraction
+        self.min_trials = min_trials
+        self.n_candidates = n_candidates
+        self.seed = seed
+        self._proposer: Optional[BayesianProposer] = None
+        self._stopped = False
+
+    def propose(
+        self, history: TrialHistory, space: ConfigSpace, rng: np.random.Generator
+    ) -> ConfigDict:
+        if self._proposer is None or self._proposer.space is not space:
+            self._proposer = BayesianProposer(
+                space,
+                acquisition="ei",
+                n_initial=self.n_initial,
+                n_candidates=self.n_candidates,
+                seed=self.seed,
+            )
+        config = self._proposer.propose(history, rng)
+        self._maybe_stop(history)
+        return config
+
+    def _maybe_stop(self, history: TrialHistory) -> None:
+        if len(history) < self.min_trials:
+            return
+        diagnostics = self._proposer.last_fit_diagnostics
+        if not diagnostics:
+            return
+        incumbent = diagnostics.get("incumbent")
+        acq = diagnostics.get("acquisition_value")
+        if incumbent is None or acq is None or incumbent == 0:
+            return
+        if acq < self.ei_stop_fraction * abs(incumbent):
+            self._stopped = True
+
+    def finished(self, history: TrialHistory, space: ConfigSpace) -> bool:
+        return self._stopped

@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list-workloads``
+    Print the workload suite with its tuning fingerprints (table T2).
+``describe-space --nodes N``
+    Print the configuration space for an N-node cluster (table T1).
+``tune --workload W --nodes N --trials T [...]``
+    Run the BO tuner (or a baseline) on a simulated cluster and print the
+    best configuration found.
+``experiment --id T3 [...]``
+    Regenerate one of the evaluation tables/figures by id.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines import (
+    CherryPick,
+    CoordinateDescent,
+    GridSearch,
+    HillClimbing,
+    RandomSearch,
+    SimulatedAnnealing,
+    SuccessiveHalving,
+    TPE,
+)
+from repro.cluster import homogeneous
+from repro.configspace import ml_config_space
+from repro.core import MLConfigTuner, TuningBudget
+from repro.mlsim import TrainingEnvironment
+from repro.workloads import SUITE, get_workload
+
+STRATEGIES = {
+    "bo": lambda seed: MLConfigTuner(seed=seed),
+    "cherrypick": lambda seed: CherryPick(seed=seed),
+    "random": lambda seed: RandomSearch(),
+    "grid": lambda seed: GridSearch(seed=seed),
+    "hill": lambda seed: HillClimbing(seed=seed),
+    "annealing": lambda seed: SimulatedAnnealing(seed=seed),
+    "coordinate": lambda seed: CoordinateDescent(seed=seed),
+    "halving": lambda seed: SuccessiveHalving(seed=seed),
+    "tpe": lambda seed: TPE(seed=seed),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BO-based configuration tuning for distributed ML (simulated).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-workloads", help="print the workload suite")
+
+    describe = sub.add_parser("describe-space", help="print the configuration space")
+    describe.add_argument("--nodes", type=int, default=16)
+
+    tune = sub.add_parser("tune", help="tune one workload on a simulated cluster")
+    tune.add_argument("--workload", default="resnet50-imagenet", choices=sorted(SUITE))
+    tune.add_argument("--nodes", type=int, default=16)
+    tune.add_argument("--trials", type=int, default=30)
+    tune.add_argument("--strategy", default="bo", choices=sorted(STRATEGIES))
+    tune.add_argument("--objective", default="throughput", choices=["throughput", "tta"])
+    tune.add_argument("--fidelity", default="analytic", choices=["analytic", "event"])
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument(
+        "--straggler-fraction", type=float, default=0.0,
+        help="fraction of nodes that are persistent stragglers",
+    )
+
+    experiment = sub.add_parser("experiment", help="regenerate an evaluation artefact")
+    experiment.add_argument("--id", required=True, help="experiment id, e.g. T3 or F2")
+    return parser
+
+
+def _cmd_list_workloads() -> int:
+    from repro.harness.experiments import exp_t2_workloads
+
+    print(exp_t2_workloads().render())
+    return 0
+
+
+def _cmd_describe_space(nodes: int) -> int:
+    from repro.harness.experiments import exp_t1_config_space
+
+    print(exp_t1_config_space(nodes=nodes).render())
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    cluster = homogeneous(
+        args.nodes, straggler_fraction=args.straggler_fraction
+    )
+    env = TrainingEnvironment(
+        workload,
+        cluster,
+        seed=args.seed,
+        fidelity=args.fidelity,
+        objective_name=args.objective,
+    )
+    space = ml_config_space(args.nodes)
+    strategy = STRATEGIES[args.strategy](args.seed)
+    result = strategy.run(
+        env, space, TuningBudget(max_trials=args.trials), seed=args.seed
+    )
+    if result.best_trial is None:
+        print("every probe failed — nothing to report", file=sys.stderr)
+        return 1
+    print(f"strategy : {result.strategy}")
+    print(f"workload : {workload.name}  ({args.nodes} nodes, {args.fidelity} fidelity)")
+    if args.objective == "throughput":
+        print(f"best     : {result.best_objective:.1f} samples/s")
+    else:
+        print(f"best     : {-result.best_objective / 3600:.2f} hours to target accuracy")
+    print(f"trials   : {result.num_trials} "
+          f"({result.total_cost_s / 3600:.2f} simulated machine-hours probing)")
+    print("configuration:")
+    for knob, value in sorted(result.best_config.items()):
+        print(f"  {knob:>20} = {value}")
+    return 0
+
+
+def _cmd_experiment(exp_id: str) -> int:
+    from repro.harness.experiments import ALL_EXPERIMENTS
+
+    exp_id = exp_id.upper()
+    if exp_id not in ALL_EXPERIMENTS:
+        print(
+            f"unknown experiment {exp_id!r}; available: {sorted(ALL_EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 1
+    result = ALL_EXPERIMENTS[exp_id]()
+    tables = result if isinstance(result, list) else [result]
+    for table in tables:
+        print(table.render())
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list-workloads":
+        return _cmd_list_workloads()
+    if args.command == "describe-space":
+        return _cmd_describe_space(args.nodes)
+    if args.command == "tune":
+        return _cmd_tune(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args.id)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

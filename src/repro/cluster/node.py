@@ -1,0 +1,120 @@
+"""Node specifications and runtime node state.
+
+A :class:`NodeSpec` is the static description of a machine class (what you
+would read off a cloud instance-type sheet).  A :class:`Node` is one concrete
+machine in a cluster, carrying simulation-time state: its compute resource,
+NIC, and a persistent speed factor used to model hardware heterogeneity and
+stragglers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim import Resource, Simulator
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of a machine class.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"c5.4xlarge"`` or ``"gpu-v100"``.
+    cores:
+        Number of CPU cores usable by training processes.
+    mem_gb:
+        Main memory in gigabytes; constrains model-replica placement.
+    gpus:
+        Number of accelerator devices (0 for CPU-only nodes).
+    gflops:
+        Aggregate dense-compute throughput of the node in GFLOP/s when all
+        devices are used.  This is the knob that separates machine classes;
+        absolute values only need to be mutually consistent.
+    nic_gbps:
+        Network interface bandwidth in gigabits per second (full duplex:
+        the simulator models ingress and egress independently).
+    """
+
+    name: str
+    cores: int
+    mem_gb: float
+    gpus: int
+    gflops: float
+    nic_gbps: float
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"node {self.name!r}: cores must be >= 1")
+        if self.gflops <= 0:
+            raise ValueError(f"node {self.name!r}: gflops must be > 0")
+        if self.nic_gbps <= 0:
+            raise ValueError(f"node {self.name!r}: nic_gbps must be > 0")
+        if self.mem_gb <= 0:
+            raise ValueError(f"node {self.name!r}: mem_gb must be > 0")
+
+    @property
+    def nic_bytes_per_sec(self) -> float:
+        """NIC bandwidth in bytes/second (one direction)."""
+        return self.nic_gbps * 1e9 / 8.0
+
+
+@dataclass
+class Node:
+    """One machine in a simulated cluster.
+
+    ``speed_factor`` scales effective compute throughput: values below 1.0
+    model persistent stragglers (thermal throttling, co-located tenants,
+    degraded disks) — the phenomenon that makes synchronisation mode a
+    first-order configuration choice.
+    """
+
+    node_id: int
+    spec: NodeSpec
+    speed_factor: float = 1.0
+    cpu: Optional[Resource] = field(default=None, repr=False)
+
+    def attach(self, sim: Simulator) -> None:
+        """Bind simulation-time resources to a kernel instance."""
+        self.cpu = Resource(sim, capacity=self.spec.cores, name=f"node{self.node_id}.cpu")
+
+    @property
+    def effective_gflops(self) -> float:
+        """Compute throughput after applying the heterogeneity factor."""
+        return self.spec.gflops * self.speed_factor
+
+    def compute_seconds(self, flops: float, parallelism: int = 0) -> float:
+        """Time to execute ``flops`` floating-point operations on this node.
+
+        ``parallelism`` caps how many cores/devices the computation can use;
+        0 means use the whole node.  Sub-linear scaling (90% efficiency per
+        doubling) models the parallelisation losses observed when intra-op
+        thread counts are set too high — one of the knobs the tuner controls.
+        """
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        if parallelism < 0:
+            raise ValueError("parallelism must be non-negative")
+        whole = self.effective_gflops * 1e9
+        if parallelism == 0 or parallelism >= self.spec.cores:
+            rate = whole
+        else:
+            fraction = parallelism / self.spec.cores
+            # Amdahl-flavoured: partial allocations get proportional share
+            # with a mild parallel-efficiency bonus for fewer threads.
+            efficiency = 1.0 + 0.1 * (1.0 - fraction)
+            rate = whole * fraction * efficiency
+        return flops / rate
+
+
+# A small catalogue of machine classes used throughout examples and
+# benchmarks.  Numbers are order-of-magnitude realistic for the paper's era
+# (2018-2019 cloud instances); only their ratios matter to the experiments.
+STANDARD_CPU = NodeSpec(name="std-cpu", cores=16, mem_gb=64, gpus=0, gflops=600.0, nic_gbps=10.0)
+BIG_CPU = NodeSpec(name="big-cpu", cores=32, mem_gb=128, gpus=0, gflops=1100.0, nic_gbps=10.0)
+GPU_K80 = NodeSpec(name="gpu-k80", cores=8, mem_gb=61, gpus=1, gflops=4000.0, nic_gbps=10.0)
+GPU_V100 = NodeSpec(name="gpu-v100", cores=16, mem_gb=61, gpus=1, gflops=14000.0, nic_gbps=25.0)
+
+CATALOGUE = {spec.name: spec for spec in (STANDARD_CPU, BIG_CPU, GPU_K80, GPU_V100)}

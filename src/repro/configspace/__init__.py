@@ -1,0 +1,37 @@
+"""Typed configuration spaces with unit-cube encodings for GP surrogates."""
+
+from repro.configspace.mlspace import (
+    default_config_dict,
+    from_training_config,
+    ml_config_space,
+    to_training_config,
+)
+from repro.configspace.params import (
+    BoolParameter,
+    CategoricalParameter,
+    FloatParameter,
+    IntParameter,
+    Parameter,
+)
+from repro.configspace.space import (
+    ConfigDict,
+    ConfigSpace,
+    Constraint,
+    ExhaustedSpaceError,
+)
+
+__all__ = [
+    "BoolParameter",
+    "CategoricalParameter",
+    "ConfigDict",
+    "ConfigSpace",
+    "Constraint",
+    "ExhaustedSpaceError",
+    "FloatParameter",
+    "IntParameter",
+    "Parameter",
+    "default_config_dict",
+    "from_training_config",
+    "ml_config_space",
+    "to_training_config",
+]

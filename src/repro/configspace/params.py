@@ -1,0 +1,238 @@
+"""Typed tunable parameters and their unit-cube encodings.
+
+Gaussian-process models want a fixed-length vector in ``[0, 1]^d``; tuners
+and simulators want typed values.  Each parameter class owns both views:
+
+- :meth:`encode` maps a typed value to its slice of the unit cube;
+- :meth:`decode` maps unit-cube coordinates back to the nearest valid value.
+
+Integers and floats occupy one dimension (optionally log-scaled — batch
+sizes and staleness bounds are naturally multiplicative).  Categoricals are
+one-hot encoded, the standard treatment in CherryPick-style tuners, so the
+GP does not hallucinate an ordering between e.g. ``"bsp"`` and ``"asp"``.
+Booleans are a single 0/1 dimension.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Sequence
+
+import numpy as np
+
+
+class Parameter:
+    """Base class: a named, typed knob with a unit-cube encoding."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("parameter name must be non-empty")
+        self.name = name
+
+    @property
+    def dims(self) -> int:
+        """Number of unit-cube dimensions this parameter occupies."""
+        raise NotImplementedError
+
+    def encode(self, value: Any) -> List[float]:
+        """Typed value → unit-cube coordinates (length ``dims``)."""
+        raise NotImplementedError
+
+    def decode(self, coords: Sequence[float]) -> Any:
+        """Unit-cube coordinates → nearest valid typed value."""
+        raise NotImplementedError
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        """A uniform random valid value."""
+        return self.decode([float(rng.random()) for _ in range(self.dims)])
+
+    def neighbors(self, value: Any, rng: np.random.Generator) -> List[Any]:
+        """Local moves from ``value`` (for hill climbing / annealing)."""
+        raise NotImplementedError
+
+    def grid(self, resolution: int) -> List[Any]:
+        """Up to ``resolution`` representative values spanning the range."""
+        raise NotImplementedError
+
+    def cardinality(self) -> float:
+        """Number of distinct values (inf for continuous)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class IntParameter(Parameter):
+    """An integer knob on ``[low, high]``, optionally log-scaled."""
+
+    def __init__(self, name: str, low: int, high: int, log: bool = False) -> None:
+        super().__init__(name)
+        if low > high:
+            raise ValueError(f"{name}: low {low} > high {high}")
+        if log and low < 1:
+            raise ValueError(f"{name}: log scale requires low >= 1")
+        self.low = int(low)
+        self.high = int(high)
+        self.log = log
+
+    @property
+    def dims(self) -> int:
+        return 1
+
+    def encode(self, value: Any) -> List[float]:
+        value = int(value)
+        if not self.low <= value <= self.high:
+            raise ValueError(f"{self.name}: {value} outside [{self.low}, {self.high}]")
+        if self.low == self.high:
+            return [0.0]
+        if self.log:
+            return [
+                (math.log(value) - math.log(self.low))
+                / (math.log(self.high) - math.log(self.low))
+            ]
+        return [(value - self.low) / (self.high - self.low)]
+
+    def decode(self, coords: Sequence[float]) -> int:
+        x = min(1.0, max(0.0, float(coords[0])))
+        if self.low == self.high:
+            return self.low
+        if self.log:
+            raw = math.exp(math.log(self.low) + x * (math.log(self.high) - math.log(self.low)))
+        else:
+            raw = self.low + x * (self.high - self.low)
+        return int(min(self.high, max(self.low, round(raw))))
+
+    def neighbors(self, value: Any, rng: np.random.Generator) -> List[int]:
+        value = int(value)
+        if self.log:
+            step = max(1, int(round(value * 0.25)))
+        else:
+            step = max(1, (self.high - self.low) // 16)
+        candidates = {value - step, value + step, value - 1, value + 1}
+        return sorted(
+            v for v in candidates if self.low <= v <= self.high and v != value
+        )
+
+    def grid(self, resolution: int) -> List[int]:
+        if self.low == self.high:
+            return [self.low]
+        count = min(resolution, self.high - self.low + 1)
+        points = {self.decode([i / (count - 1)]) for i in range(count)} if count > 1 else {self.low}
+        return sorted(points)
+
+    def cardinality(self) -> float:
+        return float(self.high - self.low + 1)
+
+
+class FloatParameter(Parameter):
+    """A continuous knob on ``[low, high]``, optionally log-scaled."""
+
+    def __init__(self, name: str, low: float, high: float, log: bool = False) -> None:
+        super().__init__(name)
+        if low >= high:
+            raise ValueError(f"{name}: low {low} >= high {high}")
+        if log and low <= 0:
+            raise ValueError(f"{name}: log scale requires low > 0")
+        self.low = float(low)
+        self.high = float(high)
+        self.log = log
+
+    @property
+    def dims(self) -> int:
+        return 1
+
+    def encode(self, value: Any) -> List[float]:
+        value = float(value)
+        if not self.low <= value <= self.high:
+            raise ValueError(f"{self.name}: {value} outside [{self.low}, {self.high}]")
+        if self.log:
+            return [
+                (math.log(value) - math.log(self.low))
+                / (math.log(self.high) - math.log(self.low))
+            ]
+        return [(value - self.low) / (self.high - self.low)]
+
+    def decode(self, coords: Sequence[float]) -> float:
+        x = min(1.0, max(0.0, float(coords[0])))
+        if self.log:
+            return math.exp(math.log(self.low) + x * (math.log(self.high) - math.log(self.low)))
+        return self.low + x * (self.high - self.low)
+
+    def neighbors(self, value: Any, rng: np.random.Generator) -> List[float]:
+        span = self.high - self.low
+        moves = []
+        for delta in (-0.1 * span, 0.1 * span):
+            candidate = min(self.high, max(self.low, float(value) + delta))
+            if candidate != value:
+                moves.append(candidate)
+        return moves
+
+    def grid(self, resolution: int) -> List[float]:
+        if resolution == 1:
+            return [self.decode([0.5])]
+        return [self.decode([i / (resolution - 1)]) for i in range(resolution)]
+
+    def cardinality(self) -> float:
+        return float("inf")
+
+
+class CategoricalParameter(Parameter):
+    """An unordered choice among ``choices`` (one-hot encoded)."""
+
+    def __init__(self, name: str, choices: Sequence[Any]) -> None:
+        super().__init__(name)
+        if len(choices) < 2:
+            raise ValueError(f"{name}: need at least 2 choices")
+        if len(set(choices)) != len(choices):
+            raise ValueError(f"{name}: duplicate choices")
+        self.choices = list(choices)
+
+    @property
+    def dims(self) -> int:
+        return len(self.choices)
+
+    def encode(self, value: Any) -> List[float]:
+        try:
+            index = self.choices.index(value)
+        except ValueError:
+            raise ValueError(f"{self.name}: {value!r} not in {self.choices}") from None
+        return [1.0 if i == index else 0.0 for i in range(len(self.choices))]
+
+    def decode(self, coords: Sequence[float]) -> Any:
+        if len(coords) != len(self.choices):
+            raise ValueError(
+                f"{self.name}: expected {len(self.choices)} coords, got {len(coords)}"
+            )
+        return self.choices[int(np.argmax(coords))]
+
+    def neighbors(self, value: Any, rng: np.random.Generator) -> List[Any]:
+        return [c for c in self.choices if c != value]
+
+    def grid(self, resolution: int) -> List[Any]:
+        return list(self.choices)
+
+    def cardinality(self) -> float:
+        return float(len(self.choices))
+
+
+class BoolParameter(Parameter):
+    """A boolean knob (single 0/1 dimension)."""
+
+    @property
+    def dims(self) -> int:
+        return 1
+
+    def encode(self, value: Any) -> List[float]:
+        return [1.0 if bool(value) else 0.0]
+
+    def decode(self, coords: Sequence[float]) -> bool:
+        return float(coords[0]) >= 0.5
+
+    def neighbors(self, value: Any, rng: np.random.Generator) -> List[bool]:
+        return [not bool(value)]
+
+    def grid(self, resolution: int) -> List[bool]:
+        return [False, True]
+
+    def cardinality(self) -> float:
+        return 2.0

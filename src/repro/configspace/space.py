@@ -1,0 +1,218 @@
+"""The configuration space: an ordered set of parameters plus constraints.
+
+A :class:`ConfigSpace` converts between three views of a configuration:
+
+- the *typed dict* (``{"num_workers": 12, "sync_mode": "bsp", ...}``) used
+  by tuners and the simulator;
+- the *unit-cube vector* in ``[0, 1]^d`` used by GP surrogates;
+- the *grid/neighbour* structure used by grid search and local search.
+
+Constraints are named predicates over the typed dict (e.g. "PS + workers
+must fit on the cluster").  Sampling is rejection-based; the space reports
+its rejection rate so pathological constraint sets are visible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.configspace.params import Parameter
+
+ConfigDict = Dict[str, Any]
+Constraint = Callable[[ConfigDict], bool]
+
+
+class ExhaustedSpaceError(RuntimeError):
+    """Raised when rejection sampling cannot find a valid configuration."""
+
+
+class ConfigSpace:
+    """An ordered collection of :class:`Parameter` with validity constraints."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        constraints: Optional[Dict[str, Constraint]] = None,
+        max_rejection_tries: int = 10_000,
+    ) -> None:
+        if not parameters:
+            raise ValueError("config space needs at least one parameter")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate parameter names: {names}")
+        self.parameters = list(parameters)
+        self.constraints = dict(constraints or {})
+        self.max_rejection_tries = max_rejection_tries
+        self._offsets: List[Tuple[int, int]] = []
+        offset = 0
+        for param in self.parameters:
+            self._offsets.append((offset, offset + param.dims))
+            offset += param.dims
+        self._dims = offset
+
+    # -- basic views -------------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        """Unit-cube dimensionality (sum of per-parameter dims)."""
+        return self._dims
+
+    def names(self) -> List[str]:
+        """Parameter names in order."""
+        return [p.name for p in self.parameters]
+
+    def __getitem__(self, name: str) -> Parameter:
+        for param in self.parameters:
+            if param.name == name:
+                return param
+        raise KeyError(f"no parameter named {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(p.name == name for p in self.parameters)
+
+    def __len__(self) -> int:
+        return len(self.parameters)
+
+    # -- validity ----------------------------------------------------------
+
+    def is_valid(self, config: ConfigDict) -> bool:
+        """True when every constraint accepts ``config``."""
+        return all(check(config) for check in self.constraints.values())
+
+    def violated_constraints(self, config: ConfigDict) -> List[str]:
+        """Names of constraints ``config`` fails (for diagnostics)."""
+        return [name for name, check in self.constraints.items() if not check(config)]
+
+    # -- encoding ------------------------------------------------------------
+
+    def encode(self, config: ConfigDict) -> np.ndarray:
+        """Typed dict → unit-cube vector."""
+        missing = [p.name for p in self.parameters if p.name not in config]
+        if missing:
+            raise KeyError(f"config missing parameters: {missing}")
+        coords: List[float] = []
+        for param in self.parameters:
+            coords.extend(param.encode(config[param.name]))
+        return np.asarray(coords, dtype=float)
+
+    def decode(self, vector: np.ndarray) -> ConfigDict:
+        """Unit-cube vector → typed dict (nearest valid values per knob).
+
+        The result is *not* guaranteed to satisfy cross-parameter
+        constraints; callers that need validity should use
+        :meth:`decode_valid` or check :meth:`is_valid`.
+        """
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (self._dims,):
+            raise ValueError(f"expected vector of shape ({self._dims},), got {vector.shape}")
+        config: ConfigDict = {}
+        for param, (start, end) in zip(self.parameters, self._offsets):
+            config[param.name] = param.decode(vector[start:end])
+        return config
+
+    def decode_valid(self, vector: np.ndarray, rng: np.random.Generator) -> ConfigDict:
+        """Decode, repairing constraint violations by local perturbation.
+
+        Tries the direct decode first, then random neighbours of the decoded
+        point, then falls back to uniform sampling.  Always returns a valid
+        configuration.
+        """
+        config = self.decode(vector)
+        if self.is_valid(config):
+            return config
+        for _ in range(64):
+            candidate = dict(config)
+            param = self.parameters[int(rng.integers(len(self.parameters)))]
+            moves = param.neighbors(candidate[param.name], rng)
+            if moves:
+                candidate[param.name] = moves[int(rng.integers(len(moves)))]
+            if self.is_valid(candidate):
+                return candidate
+            config = candidate
+        return self.sample(rng)
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample(self, rng: np.random.Generator) -> ConfigDict:
+        """One uniform valid configuration (rejection sampling)."""
+        for _ in range(self.max_rejection_tries):
+            config = {p.name: p.sample(rng) for p in self.parameters}
+            if self.is_valid(config):
+                return config
+        raise ExhaustedSpaceError(
+            f"no valid configuration found in {self.max_rejection_tries} tries; "
+            f"constraints may be unsatisfiable: {sorted(self.constraints)}"
+        )
+
+    def sample_batch(self, rng: np.random.Generator, count: int) -> List[ConfigDict]:
+        """``count`` independent uniform valid configurations."""
+        return [self.sample(rng) for _ in range(count)]
+
+    def latin_hypercube(self, rng: np.random.Generator, count: int) -> List[ConfigDict]:
+        """A Latin-hypercube design of ``count`` valid configurations.
+
+        Stratifies every unit-cube dimension into ``count`` bins and
+        permutes bin assignments independently per dimension — the standard
+        space-filling initial design for BO.  Invalid points are repaired.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        strata = (np.arange(count)[:, None] + rng.random((count, self._dims))) / count
+        for dim in range(self._dims):
+            strata[:, dim] = strata[rng.permutation(count), dim]
+        return [self.decode_valid(strata[i], rng) for i in range(count)]
+
+    def neighbors(self, config: ConfigDict, rng: np.random.Generator) -> List[ConfigDict]:
+        """All valid single-knob moves from ``config``."""
+        result = []
+        for param in self.parameters:
+            for move in param.neighbors(config[param.name], rng):
+                candidate = dict(config)
+                candidate[param.name] = move
+                if self.is_valid(candidate):
+                    result.append(candidate)
+        return result
+
+    # -- enumeration -----------------------------------------------------------
+
+    def grid(self, resolution: int = 4) -> Iterator[ConfigDict]:
+        """Iterate the Cartesian product of per-parameter grids (valid only).
+
+        ``resolution`` bounds the number of levels per numeric parameter;
+        categoricals always contribute all their choices.
+        """
+        if resolution < 1:
+            raise ValueError("resolution must be >= 1")
+        levels = [param.grid(resolution) for param in self.parameters]
+        names = self.names()
+        for combo in itertools.product(*levels):
+            config = dict(zip(names, combo))
+            if self.is_valid(config):
+                yield config
+
+    def cardinality(self) -> float:
+        """Product of per-parameter cardinalities (ignores constraints)."""
+        total = 1.0
+        for param in self.parameters:
+            total *= param.cardinality()
+        return total
+
+    def describe(self) -> List[Dict[str, Any]]:
+        """One row per parameter, for the configuration-space table (T1)."""
+        rows = []
+        for param in self.parameters:
+            row: Dict[str, Any] = {"name": param.name, "type": type(param).__name__}
+            if hasattr(param, "low"):
+                row["range"] = f"[{param.low}, {param.high}]" + (
+                    " (log)" if getattr(param, "log", False) else ""
+                )
+            elif hasattr(param, "choices"):
+                row["range"] = "{" + ", ".join(str(c) for c in param.choices) + "}"
+            else:
+                row["range"] = "{False, True}"
+            row["cardinality"] = param.cardinality()
+            rows.append(row)
+        return rows

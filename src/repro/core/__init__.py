@@ -1,0 +1,60 @@
+"""The BO-based configuration tuner (the paper's primary contribution)."""
+
+from repro.core.acquisition import (
+    ACQUISITIONS,
+    expected_improvement,
+    expected_improvement_per_cost,
+    get_acquisition,
+    probability_of_improvement,
+    upper_confidence_bound,
+)
+from repro.core.bo import BayesianProposer
+from repro.core.gp import GaussianProcess, GPFitError
+from repro.core.importance import fit_surrogate, knob_importance, ranked_knobs
+from repro.core.kernels import KERNELS, Kernel, Matern52, RBF, make_kernel
+from repro.core.parallel import propose_batch, run_parallel_round
+from repro.core.stopping import (
+    CostCapRule,
+    FailureStreakRule,
+    PlateauRule,
+    StoppedStrategy,
+    StoppingRule,
+    TargetRule,
+)
+from repro.core.strategy import SearchStrategy, TuningBudget, TuningResult
+from repro.core.trial import Trial, TrialHistory
+from repro.core.tuner import MLConfigTuner
+
+__all__ = [
+    "ACQUISITIONS",
+    "BayesianProposer",
+    "GPFitError",
+    "GaussianProcess",
+    "KERNELS",
+    "Kernel",
+    "MLConfigTuner",
+    "Matern52",
+    "RBF",
+    "SearchStrategy",
+    "Trial",
+    "TrialHistory",
+    "TuningBudget",
+    "TuningResult",
+    "expected_improvement",
+    "fit_surrogate",
+    "knob_importance",
+    "ranked_knobs",
+    "expected_improvement_per_cost",
+    "get_acquisition",
+    "make_kernel",
+    "probability_of_improvement",
+    "upper_confidence_bound",
+    "CostCapRule",
+    "FailureStreakRule",
+    "PlateauRule",
+    "StoppedStrategy",
+    "StoppingRule",
+    "TargetRule",
+    "propose_batch",
+    "run_parallel_round",
+]

@@ -1,0 +1,261 @@
+"""The Bayesian-optimisation proposal engine.
+
+:class:`BayesianProposer` turns a trial history into the next configuration
+to probe:
+
+1. while fewer than ``n_initial`` trials exist, emit points from a
+   Latin-hypercube initial design;
+2. afterwards, fit a GP surrogate to (encoded config → objective), score a
+   large candidate set with the chosen acquisition function, and refine the
+   best candidate with acquisition hill-climbing over the space's
+   single-knob neighbourhood moves.
+
+Failed trials (crashed probes) are kept in the training set at a penalised
+objective value — one standard deviation below the worst success — so the
+surrogate learns to avoid the infeasible region instead of repeatedly
+proposing configurations that cannot run.
+
+When the acquisition is cost-aware (``"eipc"``), a second GP is fit to the
+log probe cost and candidates are scored by improvement *per predicted
+second of probing*.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.configspace import ConfigDict, ConfigSpace
+from repro.core.acquisition import get_acquisition
+from repro.core.gp import GaussianProcess, GPFitError
+from repro.core.kernels import make_kernel
+from repro.core.trial import TrialHistory
+
+
+class BayesianProposer:
+    """Stateless-per-call BO proposal logic (state lives in the history).
+
+    Parameters
+    ----------
+    space:
+        The configuration space to search.
+    acquisition:
+        ``"ei"``, ``"pi"``, ``"ucb"``, or ``"eipc"`` (cost-aware EI).
+    n_initial:
+        Size of the Latin-hypercube initial design.
+    n_candidates:
+        Random candidates scored per proposal (before local refinement).
+    kernel:
+        Surrogate kernel name (``"matern52"`` or ``"rbf"``).
+    xi / beta:
+        Exploration parameters for EI/PI and UCB respectively.
+    log_objective:
+        ``"auto"`` fits the surrogate to ``log(objective)`` whenever every
+        observed objective is positive (the transform CherryPick applies to
+        running cost); improvement is then measured in log space, i.e.
+        relative improvement.  Default ``"never"``: on this substrate an
+        A/B comparison showed no benefit (see EXPERIMENTS.md commentary),
+        and the recorded benchmarks use the raw scale.
+    """
+
+    def __init__(
+        self,
+        space: ConfigSpace,
+        acquisition: str = "ei",
+        n_initial: int = 8,
+        n_candidates: int = 512,
+        kernel: str = "matern52",
+        xi: float = 0.01,
+        beta: float = 2.0,
+        local_search_steps: int = 8,
+        refit_every: int = 3,
+        log_objective: str = "never",
+        seed: int = 0,
+    ) -> None:
+        if n_initial < 2:
+            raise ValueError("n_initial must be >= 2")
+        if n_candidates < 8:
+            raise ValueError("n_candidates must be >= 8")
+        if refit_every < 1:
+            raise ValueError("refit_every must be >= 1")
+        if log_objective not in ("auto", "never"):
+            raise ValueError("log_objective must be 'auto' or 'never'")
+        self.space = space
+        self.acquisition_name = acquisition
+        self.acquisition = get_acquisition(acquisition)
+        self.n_initial = n_initial
+        self.n_candidates = n_candidates
+        self.kernel_name = kernel
+        self.xi = xi
+        self.beta = beta
+        self.local_search_steps = local_search_steps
+        # Full marginal-likelihood refits are the dominant cost of a
+        # proposal; hyperparameters drift slowly, so refit every few trials
+        # and reuse the cached values in between.
+        self.refit_every = refit_every
+        self.log_objective = log_objective
+        self.seed = seed
+        self._initial_design: Optional[List[ConfigDict]] = None
+        self._cached_hypers: Optional[np.ndarray] = None
+        self._last_refit_at = -1
+        self._log_active = False
+        self.last_fit_diagnostics: dict = {}
+
+    # -- training-set assembly ------------------------------------------------
+
+    def _training_set(self, history: TrialHistory) -> Tuple[np.ndarray, np.ndarray]:
+        """Encoded (X, y) including penalised failures.
+
+        When the log transform is active, targets are log objectives and
+        failures are penalised in log space.
+        """
+        successes = history.successful()
+        failures = history.failed()
+        ys = np.array([t.objective for t in successes], dtype=float)
+        use_log = (
+            self.log_objective == "auto" and len(ys) > 0 and np.all(ys > 0)
+        )
+        self._log_active = use_log
+        if use_log:
+            ys = np.log(ys)
+        if len(ys) > 0:
+            penalty = ys.min() - (ys.std() if len(ys) > 1 and ys.std() > 0 else abs(ys.min()) * 0.1 + 1.0)
+        else:
+            penalty = -1.0
+        rows, targets = [], []
+        for trial, value in zip(successes, ys):
+            rows.append(self.space.encode(trial.config))
+            targets.append(float(value))
+        for trial in failures:
+            rows.append(self.space.encode(trial.config))
+            targets.append(penalty)
+        return np.array(rows), np.array(targets)
+
+    # -- proposal ------------------------------------------------------------
+
+    def propose(
+        self, history: TrialHistory, rng: np.random.Generator
+    ) -> ConfigDict:
+        """The next configuration to probe."""
+        if len(history) < self.n_initial:
+            return self._initial_point(len(history), rng)
+        try:
+            return self._model_based_point(history, rng)
+        except GPFitError:
+            # Degenerate data (e.g. all failures): fall back to exploration.
+            return self.space.sample(rng)
+
+    def _initial_point(self, index: int, rng: np.random.Generator) -> ConfigDict:
+        if self._initial_design is None:
+            design_rng = np.random.default_rng(self.seed + 7)
+            self._initial_design = self.space.latin_hypercube(design_rng, self.n_initial)
+        return self._initial_design[index % len(self._initial_design)]
+
+    def _model_based_point(
+        self, history: TrialHistory, rng: np.random.Generator
+    ) -> ConfigDict:
+        x, y = self._training_set(history)
+        if len(y) == 0:
+            return self.space.sample(rng)
+        surrogate = GaussianProcess(
+            kernel=make_kernel(self.kernel_name, self.space.dims),
+            seed=self.seed,
+        )
+        refit_due = (
+            self._cached_hypers is None
+            or len(history) - self._last_refit_at >= self.refit_every
+        )
+        if not refit_due:
+            k = surrogate.kernel.num_params()
+            surrogate.kernel.set_log_params(self._cached_hypers[:k])
+            surrogate.noise_variance = float(np.exp(self._cached_hypers[k]))
+            surrogate.fit(x, y, optimize_hypers=False)
+        else:
+            surrogate.fit(x, y, optimize_hypers=True)
+            self._cached_hypers = np.concatenate(
+                (surrogate.kernel.get_log_params(), [np.log(surrogate.noise_variance)])
+            )
+            self._last_refit_at = len(history)
+
+        cost_model = None
+        if self.acquisition_name == "eipc":
+            cost_model = self._fit_cost_model(history)
+
+        incumbent = float(np.max(y))
+        candidates = self._candidate_set(history, rng)
+        best_config, best_score = None, -np.inf
+        scored = self._score(candidates, surrogate, incumbent, cost_model)
+        order = int(np.argmax(scored))
+        best_config, best_score = candidates[order], float(scored[order])
+
+        # Local refinement: climb the acquisition surface via single-knob
+        # moves from the best random candidate.
+        current, current_score = best_config, best_score
+        for _ in range(self.local_search_steps):
+            moves = self.space.neighbors(current, rng)
+            if not moves:
+                break
+            move_scores = self._score(moves, surrogate, incumbent, cost_model)
+            top = int(np.argmax(move_scores))
+            if move_scores[top] <= current_score:
+                break
+            current, current_score = moves[top], float(move_scores[top])
+
+        self.last_fit_diagnostics = {
+            "lml": surrogate.log_marginal_likelihood(),
+            "noise_variance": surrogate.noise_variance,
+            "incumbent": incumbent,
+            "acquisition_value": current_score,
+        }
+        return current
+
+    def _candidate_set(
+        self, history: TrialHistory, rng: np.random.Generator
+    ) -> List[ConfigDict]:
+        candidates = self.space.sample_batch(rng, self.n_candidates)
+        best = history.best()
+        if best is not None:
+            candidates.extend(self.space.neighbors(best.config, rng))
+            candidates.append(dict(best.config))
+        return candidates
+
+    def _score(
+        self,
+        candidates: List[ConfigDict],
+        surrogate: GaussianProcess,
+        incumbent: float,
+        cost_model: Optional[GaussianProcess],
+    ) -> np.ndarray:
+        x = np.array([self.space.encode(c) for c in candidates])
+        mu, var = surrogate.predict(x)
+        sigma = np.sqrt(var)
+        if self.acquisition_name == "ei":
+            return self.acquisition(mu, sigma, incumbent, xi=self.xi)
+        if self.acquisition_name == "pi":
+            return self.acquisition(mu, sigma, incumbent, xi=self.xi)
+        if self.acquisition_name == "ucb":
+            return self.acquisition(mu, sigma, incumbent, beta=self.beta)
+        # eipc: improvement per predicted probe second.
+        if cost_model is not None:
+            log_cost, _ = cost_model.predict(x)
+            cost = np.exp(np.clip(log_cost, -2.0, 20.0))
+        else:
+            cost = np.ones(len(candidates))
+        return self.acquisition(mu, sigma, incumbent, cost=cost, xi=self.xi)
+
+    def _fit_cost_model(self, history: TrialHistory) -> Optional[GaussianProcess]:
+        successes = history.successful()
+        if len(successes) < 3:
+            return None
+        x = np.array([self.space.encode(t.config) for t in successes])
+        log_cost = np.log(
+            np.array([max(1e-3, t.measurement.probe_cost_s) for t in successes])
+        )
+        try:
+            return GaussianProcess(
+                kernel=make_kernel(self.kernel_name, self.space.dims),
+                seed=self.seed + 1,
+            ).fit(x, log_cost)
+        except GPFitError:
+            return None

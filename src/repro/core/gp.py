@@ -1,0 +1,202 @@
+"""Gaussian-process regression, implemented from scratch on numpy/scipy.
+
+Exact GP regression with a learned homoscedastic noise term:
+
+- posterior via Cholesky factorisation with escalating jitter;
+- hyperparameters (kernel variance, ARD lengthscales, noise) fit by
+  maximising the log marginal likelihood with multi-restart L-BFGS-B;
+- targets standardised internally so kernel priors are scale-free.
+
+This is the surrogate model inside the BO tuner and the OtterTune-style
+baseline.  It is deliberately plain exact GP — the configuration budgets in
+this problem (tens of trials) never need sparse approximations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import linalg, optimize
+
+from repro.core.kernels import Kernel, Matern52
+
+_JITTERS = (1e-10, 1e-8, 1e-6, 1e-4, 1e-2)
+
+
+class GPFitError(RuntimeError):
+    """Raised when the GP cannot be fit (degenerate data)."""
+
+
+def _chol_with_jitter(matrix: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Cholesky factor with the smallest jitter that succeeds."""
+    for jitter in _JITTERS:
+        try:
+            chol = linalg.cholesky(
+                matrix + jitter * np.eye(matrix.shape[0]), lower=True
+            )
+            return chol, jitter
+        except linalg.LinAlgError:
+            continue
+    raise GPFitError("covariance matrix not positive definite at any jitter level")
+
+
+class GaussianProcess:
+    """Exact GP regression with MLE hyperparameter fitting.
+
+    Parameters
+    ----------
+    kernel:
+        Covariance function; defaults to ARD Matérn-5/2 once the input
+        dimension is known at fit time.
+    noise_variance:
+        Initial observation-noise variance (in standardised-target units);
+        refined by the marginal-likelihood fit unless ``fit_noise=False``.
+    restarts:
+        Number of random restarts for the hyperparameter optimisation.
+    """
+
+    def __init__(
+        self,
+        kernel: Optional[Kernel] = None,
+        noise_variance: float = 1e-2,
+        fit_noise: bool = True,
+        restarts: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if noise_variance <= 0:
+            raise ValueError("noise_variance must be positive")
+        if restarts < 0:
+            raise ValueError("restarts must be >= 0")
+        self.kernel = kernel
+        self.noise_variance = float(noise_variance)
+        self.fit_noise = fit_noise
+        self.restarts = restarts
+        self.seed = seed
+        self._x: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+        self._chol: Optional[np.ndarray] = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    # -- fitting ---------------------------------------------------------
+
+    def fit(self, x: np.ndarray, y: np.ndarray, optimize_hypers: bool = True) -> "GaussianProcess":
+        """Fit to row-stacked inputs ``x`` and targets ``y``."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(f"x has {x.shape[0]} rows but y has {y.shape[0]}")
+        if x.shape[0] < 1:
+            raise GPFitError("need at least one observation")
+        if not np.all(np.isfinite(x)) or not np.all(np.isfinite(y)):
+            raise GPFitError("non-finite values in training data")
+
+        if self.kernel is None:
+            self.kernel = Matern52(x.shape[1])
+        elif self.kernel.input_dim != x.shape[1]:
+            raise ValueError(
+                f"kernel expects dim {self.kernel.input_dim}, data has {x.shape[1]}"
+            )
+
+        self._y_mean = float(np.mean(y))
+        spread = float(np.std(y))
+        self._y_std = spread if spread > 1e-12 else 1.0
+        z = (y - self._y_mean) / self._y_std
+
+        self._x = x
+        self._z = z
+        if optimize_hypers and x.shape[0] >= 3:
+            self._optimize_hyperparameters()
+        self._refresh_posterior()
+        return self
+
+    def _log_params(self) -> np.ndarray:
+        params = self.kernel.get_log_params()
+        if self.fit_noise:
+            params = np.concatenate((params, [np.log(self.noise_variance)]))
+        return params
+
+    def _apply_log_params(self, log_params: np.ndarray) -> None:
+        k = self.kernel.num_params()
+        self.kernel.set_log_params(log_params[:k])
+        if self.fit_noise:
+            self.noise_variance = float(np.exp(np.clip(log_params[k], -12.0, 2.0)))
+
+    def _neg_log_marginal(self, log_params: np.ndarray) -> float:
+        self._apply_log_params(log_params)
+        n = self._x.shape[0]
+        cov = self.kernel(self._x, self._x) + self.noise_variance * np.eye(n)
+        try:
+            chol, _ = _chol_with_jitter(cov)
+        except GPFitError:
+            return 1e12
+        alpha = linalg.cho_solve((chol, True), self._z)
+        lml = (
+            -0.5 * float(self._z @ alpha)
+            - float(np.sum(np.log(np.diag(chol))))
+            - 0.5 * n * np.log(2.0 * np.pi)
+        )
+        if not np.isfinite(lml):
+            return 1e12
+        return -lml
+
+    def _optimize_hyperparameters(self) -> None:
+        bounds = self.kernel.param_bounds()
+        if self.fit_noise:
+            bounds = bounds + [(np.log(1e-6), np.log(1.0))]
+        rng = np.random.default_rng(self.seed)
+        starts = [self._log_params()]
+        for _ in range(self.restarts):
+            start = np.array([lo + (hi - lo) * rng.random() for lo, hi in bounds])
+            starts.append(start)
+        best_val = np.inf
+        best_params = self._log_params()
+        for start in starts:
+            result = optimize.minimize(
+                self._neg_log_marginal,
+                start,
+                method="L-BFGS-B",
+                bounds=bounds,
+                options={"maxiter": 200},
+            )
+            if result.fun < best_val:
+                best_val = float(result.fun)
+                best_params = result.x
+        self._apply_log_params(best_params)
+
+    def _refresh_posterior(self) -> None:
+        n = self._x.shape[0]
+        cov = self.kernel(self._x, self._x) + self.noise_variance * np.eye(n)
+        self._chol, _ = _chol_with_jitter(cov)
+        self._alpha = linalg.cho_solve((self._chol, True), self._z)
+
+    # -- prediction -----------------------------------------------------------
+
+    def predict(self, x_star: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and variance (of the latent function) at ``x_star``.
+
+        Returns ``(mean, variance)`` in the original target units.
+        """
+        if self._x is None:
+            raise GPFitError("predict() before fit()")
+        x_star = np.atleast_2d(np.asarray(x_star, dtype=float))
+        k_star = self.kernel(self._x, x_star)  # (n, m)
+        mean_z = k_star.T @ self._alpha
+        v = linalg.solve_triangular(self._chol, k_star, lower=True)
+        var_z = self.kernel.diag(x_star) - np.sum(v * v, axis=0)
+        var_z = np.maximum(var_z, 1e-12)
+        mean = mean_z * self._y_std + self._y_mean
+        var = var_z * self._y_std**2
+        return mean, var
+
+    def log_marginal_likelihood(self) -> float:
+        """LML of the current fit (standardised-target units)."""
+        if self._x is None:
+            raise GPFitError("log_marginal_likelihood() before fit()")
+        return -self._neg_log_marginal(self._log_params())
+
+    @property
+    def num_observations(self) -> int:
+        """Number of training points in the current fit."""
+        return 0 if self._x is None else int(self._x.shape[0])

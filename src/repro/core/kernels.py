@@ -1,0 +1,111 @@
+"""Covariance kernels for Gaussian-process regression.
+
+Kernels operate on unit-cube encoded configurations and support automatic
+relevance determination (ARD): one lengthscale per input dimension, so the
+GP learns which knobs matter for a given workload (e.g. ``num_ps`` barely
+matters for a compute-bound CNN, dominates for word2vec).
+
+Hyperparameters are manipulated in log space, the standard parameterisation
+for positive scales, via :meth:`Kernel.get_log_params` /
+:meth:`Kernel.set_log_params`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_MIN_LOG = -8.0
+_MAX_LOG = 8.0
+
+
+def _pairwise_sq_dists(x1: np.ndarray, x2: np.ndarray, lengthscales: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances after per-dimension scaling."""
+    a = x1 / lengthscales
+    b = x2 / lengthscales
+    aa = np.sum(a * a, axis=1)[:, None]
+    bb = np.sum(b * b, axis=1)[None, :]
+    sq = aa + bb - 2.0 * (a @ b.T)
+    return np.maximum(sq, 0.0)
+
+
+class Kernel:
+    """Base class: a positive-definite covariance function with ARD."""
+
+    def __init__(self, input_dim: int, variance: float = 1.0) -> None:
+        if input_dim < 1:
+            raise ValueError("input_dim must be >= 1")
+        if variance <= 0:
+            raise ValueError("variance must be positive")
+        self.input_dim = input_dim
+        self.variance = float(variance)
+        self.lengthscales = np.full(input_dim, 0.5)
+
+    def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+        """Covariance matrix between row-stacked inputs."""
+        raise NotImplementedError
+
+    def diag(self, x: np.ndarray) -> np.ndarray:
+        """Diagonal of ``self(x, x)`` without forming the matrix."""
+        return np.full(x.shape[0], self.variance)
+
+    # -- hyperparameter vector (log space) -------------------------------
+
+    def get_log_params(self) -> np.ndarray:
+        """[log variance, log lengthscale_1, ..., log lengthscale_d]."""
+        return np.concatenate(([np.log(self.variance)], np.log(self.lengthscales)))
+
+    def set_log_params(self, log_params: np.ndarray) -> None:
+        """Inverse of :meth:`get_log_params`, with clipping for stability."""
+        log_params = np.clip(np.asarray(log_params, dtype=float), _MIN_LOG, _MAX_LOG)
+        if log_params.shape != (1 + self.input_dim,):
+            raise ValueError(
+                f"expected {1 + self.input_dim} log params, got {log_params.shape}"
+            )
+        self.variance = float(np.exp(log_params[0]))
+        self.lengthscales = np.exp(log_params[1:])
+
+    def num_params(self) -> int:
+        """Length of the log-parameter vector."""
+        return 1 + self.input_dim
+
+    def param_bounds(self) -> list:
+        """L-BFGS-B bounds in log space."""
+        # Variance: y is standardised, so signal variance near 1; allow a
+        # generous band.  Lengthscales: inputs live in [0,1], so scales in
+        # [0.01, 10] cover everything from near-white to near-constant.
+        return [(np.log(1e-3), np.log(1e3))] + [
+            (np.log(1e-2), np.log(10.0))
+        ] * self.input_dim
+
+
+class RBF(Kernel):
+    """Squared-exponential kernel: very smooth response surfaces."""
+
+    def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+        sq = _pairwise_sq_dists(np.atleast_2d(x1), np.atleast_2d(x2), self.lengthscales)
+        return self.variance * np.exp(-0.5 * sq)
+
+
+class Matern52(Kernel):
+    """Matérn-5/2 kernel: the default surrogate in CherryPick-style tuners.
+
+    Twice-differentiable sample paths — smooth enough for gradient-free
+    optimisation, rough enough for real system response surfaces with
+    bottleneck kinks.
+    """
+
+    def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+        sq = _pairwise_sq_dists(np.atleast_2d(x1), np.atleast_2d(x2), self.lengthscales)
+        r = np.sqrt(5.0 * sq)
+        return self.variance * (1.0 + r + r * r / 3.0) * np.exp(-r)
+
+
+KERNELS = {"rbf": RBF, "matern52": Matern52}
+
+
+def make_kernel(name: str, input_dim: int) -> Kernel:
+    """Construct a kernel by name (``"rbf"`` or ``"matern52"``)."""
+    try:
+        return KERNELS[name](input_dim)
+    except KeyError:
+        raise KeyError(f"unknown kernel {name!r}; choose from {sorted(KERNELS)}") from None

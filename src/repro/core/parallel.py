@@ -1,0 +1,108 @@
+"""Batch proposals for parallel probing (constant-liar fantasisation).
+
+When a cluster has spare machines, a tuner can probe several
+configurations concurrently.  Naively asking the acquisition for its top-k
+candidates returns k near-duplicates; the standard fix is the *constant
+liar*: propose one point, pretend it returned the incumbent value (the
+"lie"), refit, and propose the next — k times.  The lies force diversity
+because the fantasised observation kills the acquisition around each
+already-chosen point.
+
+This module provides :func:`propose_batch`, which wraps any
+:class:`~repro.core.bo.BayesianProposer` without modifying it, by feeding
+it a history extended with fantasy trials.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.configspace import ConfigDict, ConfigSpace
+from repro.core.bo import BayesianProposer
+from repro.core.trial import TrialHistory
+from repro.mlsim import Measurement, TrainingConfig
+
+
+def _with_fantasy(
+    history: TrialHistory,
+    space: ConfigSpace,
+    fantasies: List[tuple],
+) -> TrialHistory:
+    """A copy of ``history`` extended with (config, lied objective) pairs."""
+    extended = TrialHistory()
+    for trial in history.trials:
+        extended.record(trial.config, trial.measurement)
+    for config, lie in fantasies:
+        extended.record(
+            config,
+            Measurement(
+                config=TrainingConfig(),
+                ok=True,
+                fidelity="fantasy",
+                objective=lie,
+                probe_cost_s=0.0,
+            ),
+        )
+    return extended
+
+
+def propose_batch(
+    proposer: BayesianProposer,
+    history: TrialHistory,
+    rng: np.random.Generator,
+    batch_size: int,
+    lie: str = "incumbent",
+) -> List[ConfigDict]:
+    """Propose ``batch_size`` diverse configurations for parallel probing.
+
+    ``lie`` selects the fantasy value: ``"incumbent"`` (the constant liar —
+    conservative, strongly diversifying) or ``"mean"`` (the mean of
+    observed objectives — milder).
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if lie not in ("incumbent", "mean"):
+        raise ValueError(f"lie must be 'incumbent' or 'mean', got {lie!r}")
+
+    successes = history.successful()
+    if successes:
+        values = [t.objective for t in successes]
+        lie_value = max(values) if lie == "incumbent" else float(np.mean(values))
+    else:
+        lie_value = 0.0
+
+    batch: List[ConfigDict] = []
+    fantasies: List[tuple] = []
+    for _ in range(batch_size):
+        extended = _with_fantasy(history, proposer.space, fantasies)
+        config = proposer.propose(extended, rng)
+        batch.append(config)
+        fantasies.append((config, lie_value))
+    return batch
+
+
+def run_parallel_round(
+    proposer: BayesianProposer,
+    env,
+    space: ConfigSpace,
+    history: TrialHistory,
+    rng: np.random.Generator,
+    batch_size: int,
+) -> List:
+    """Propose a batch, probe every member, and record the real results.
+
+    Returns the recorded trials.  Probes are simulated sequentially (the
+    simulation has no wall-clock), but the *cost accounting* is what a
+    parallel deployment would see: the caller can divide the round's probe
+    cost by ``batch_size`` when modelling wall-clock speedup.
+    """
+    from repro.configspace import to_training_config
+
+    batch = propose_batch(proposer, history, rng, batch_size)
+    trials = []
+    for config in batch:
+        measurement = env.measure(to_training_config(config))
+        trials.append(history.record(config, measurement))
+    return trials

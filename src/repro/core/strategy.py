@@ -1,0 +1,130 @@
+"""The search-strategy interface shared by the tuner and all baselines.
+
+Every tuner in this repository — the paper's BO tuner and each comparator —
+implements the same contract: given a training environment, a configuration
+space, and a budget, run probes and return a :class:`TuningResult`.  The
+harness treats them uniformly, which is what makes the head-to-head
+evaluation fair (identical spaces, identical budgets, identical noise).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.configspace import ConfigDict, ConfigSpace, to_training_config
+from repro.core.trial import Trial, TrialHistory
+from repro.mlsim import TrainingEnvironment
+
+
+@dataclass(frozen=True)
+class TuningBudget:
+    """Caps on a tuning session.
+
+    ``max_trials`` bounds the number of probes; ``max_cost_s`` bounds the
+    cumulative *simulated* probe cost (machine time).  Either may be None
+    (unbounded), but not both.
+    """
+
+    max_trials: Optional[int] = 40
+    max_cost_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_trials is None and self.max_cost_s is None:
+            raise ValueError("budget must bound trials or cost")
+        if self.max_trials is not None and self.max_trials < 1:
+            raise ValueError("max_trials must be >= 1")
+        if self.max_cost_s is not None and self.max_cost_s <= 0:
+            raise ValueError("max_cost_s must be positive")
+
+    def exhausted(self, history: TrialHistory) -> bool:
+        """True once another probe would exceed the budget."""
+        if self.max_trials is not None and len(history) >= self.max_trials:
+            return True
+        if self.max_cost_s is not None and history.total_cost_s >= self.max_cost_s:
+            return True
+        return False
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one tuning session."""
+
+    strategy: str
+    history: TrialHistory
+    best_trial: Optional[Trial]
+    environment: dict
+
+    @property
+    def best_config(self) -> Optional[ConfigDict]:
+        """The best configuration found, or None if every probe failed."""
+        return self.best_trial.config if self.best_trial else None
+
+    @property
+    def best_objective(self) -> Optional[float]:
+        """The best measured objective, or None."""
+        return self.best_trial.objective if self.best_trial else None
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.history)
+
+    @property
+    def total_cost_s(self) -> float:
+        return self.history.total_cost_s
+
+
+class SearchStrategy(ABC):
+    """Template for all tuners: propose → probe → record, until budget.
+
+    Subclasses implement :meth:`propose`; the run loop, budget accounting,
+    and trial recording are shared so every strategy pays identical costs
+    for identical behaviour.
+    """
+
+    name: str = "strategy"
+
+    @abstractmethod
+    def propose(
+        self,
+        history: TrialHistory,
+        space: ConfigSpace,
+        rng: np.random.Generator,
+    ) -> ConfigDict:
+        """Return the next configuration to probe."""
+
+    def observe(self, trial: Trial) -> None:
+        """Hook: called after each probe (for stateful strategies)."""
+
+    def finished(self, history: TrialHistory, space: ConfigSpace) -> bool:
+        """Hook: strategies may stop early (e.g. grid exhausted)."""
+        return False
+
+    def run(
+        self,
+        env: TrainingEnvironment,
+        space: ConfigSpace,
+        budget: TuningBudget,
+        seed: int = 0,
+    ) -> TuningResult:
+        """Execute the tuning session."""
+        rng = np.random.default_rng(seed)
+        history = TrialHistory()
+        while not budget.exhausted(history) and not self.finished(history, space):
+            config = self.propose(history, space, rng)
+            measurement = self.measure(env, config)
+            trial = history.record(config, measurement)
+            self.observe(trial)
+        return TuningResult(
+            strategy=self.name,
+            history=history,
+            best_trial=history.best(),
+            environment=env.describe(),
+        )
+
+    def measure(self, env: TrainingEnvironment, config: ConfigDict):
+        """Probe one configuration (hook for early-termination tuners)."""
+        return env.measure(to_training_config(config))

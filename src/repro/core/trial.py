@@ -1,0 +1,120 @@
+"""Trials and tuning history.
+
+A :class:`Trial` records one configuration probe: the typed configuration,
+the measurement that came back, and bookkeeping (index, cumulative cost).
+:class:`TrialHistory` is the append-only log a tuner builds up; it exposes
+the derived series the evaluation plots (best-so-far, cumulative cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.configspace import ConfigDict
+from repro.mlsim import Measurement
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One configuration probe and its outcome."""
+
+    index: int
+    config: ConfigDict
+    measurement: Measurement
+    cumulative_cost_s: float
+
+    @property
+    def ok(self) -> bool:
+        """True when the probe ran to completion."""
+        return self.measurement.ok
+
+    @property
+    def objective(self) -> Optional[float]:
+        """Measured objective (higher is better); None for failed probes."""
+        return self.measurement.objective
+
+
+class TrialHistory:
+    """Append-only log of trials with derived evaluation series."""
+
+    def __init__(self) -> None:
+        self._trials: List[Trial] = []
+        self.total_cost_s = 0.0
+
+    def record(self, config: ConfigDict, measurement: Measurement) -> Trial:
+        """Append a trial, accumulating its probe cost."""
+        self.total_cost_s += measurement.probe_cost_s
+        trial = Trial(
+            index=len(self._trials),
+            config=dict(config),
+            measurement=measurement,
+            cumulative_cost_s=self.total_cost_s,
+        )
+        self._trials.append(trial)
+        return trial
+
+    def __len__(self) -> int:
+        return len(self._trials)
+
+    def __iter__(self) -> Iterator[Trial]:
+        return iter(self._trials)
+
+    def __getitem__(self, index: int) -> Trial:
+        return self._trials[index]
+
+    @property
+    def trials(self) -> List[Trial]:
+        """All trials in execution order (a copy-safe view)."""
+        return list(self._trials)
+
+    def successful(self) -> List[Trial]:
+        """Trials whose probe completed."""
+        return [t for t in self._trials if t.ok]
+
+    def failed(self) -> List[Trial]:
+        """Trials whose probe crashed (infeasible configuration)."""
+        return [t for t in self._trials if not t.ok]
+
+    def best(self) -> Optional[Trial]:
+        """The successful trial with the highest objective, or None."""
+        candidates = self.successful()
+        if not candidates:
+            return None
+        return max(candidates, key=lambda t: t.objective)
+
+    def best_objective(self) -> Optional[float]:
+        """Best measured objective so far, or None if nothing succeeded."""
+        best = self.best()
+        return best.objective if best else None
+
+    def best_so_far_series(self) -> List[Optional[float]]:
+        """Best objective after each trial (None until the first success).
+
+        This is the y-axis of the convergence figures (F2).
+        """
+        series: List[Optional[float]] = []
+        best: Optional[float] = None
+        for trial in self._trials:
+            if trial.ok and (best is None or trial.objective > best):
+                best = trial.objective
+            series.append(best)
+        return series
+
+    def cost_series(self) -> List[float]:
+        """Cumulative probe cost (simulated seconds) after each trial."""
+        return [t.cumulative_cost_s for t in self._trials]
+
+    def trials_to_reach(self, threshold: float) -> Optional[int]:
+        """Number of trials to first reach ``objective >= threshold``."""
+        for trial in self._trials:
+            if trial.ok and trial.objective >= threshold:
+                return trial.index + 1
+        return None
+
+    def cost_to_reach(self, threshold: float) -> Optional[float]:
+        """Probe cost (simulated seconds) to first reach ``threshold``."""
+        for trial in self._trials:
+            if trial.ok and trial.objective >= threshold:
+                return trial.cumulative_cost_s
+        return None

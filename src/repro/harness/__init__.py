@@ -1,0 +1,32 @@
+"""Experiment harness: metrics, optimum estimation, comparisons, tables."""
+
+from repro.harness import metrics
+from repro.harness.comparison import (
+    Comparison,
+    StrategyOutcome,
+    compare_strategies,
+    standard_strategy_set,
+)
+from repro.harness.optimum import clear_optimum_cache, estimate_optimum
+from repro.harness.tables import (
+    ascii_chart,
+    render_series,
+    render_table,
+    save_csv,
+    to_csv,
+)
+
+__all__ = [
+    "Comparison",
+    "StrategyOutcome",
+    "ascii_chart",
+    "clear_optimum_cache",
+    "compare_strategies",
+    "estimate_optimum",
+    "metrics",
+    "render_series",
+    "render_table",
+    "save_csv",
+    "standard_strategy_set",
+    "to_csv",
+]

@@ -1,0 +1,172 @@
+"""Head-to-head comparison of tuning strategies.
+
+The comparison protocol matches the papers': every strategy tunes the same
+workload on the same simulated cluster (identical heterogeneity, identical
+measurement-noise stream per trial index), repeated over several seeds, and
+is scored against the noise-free optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster import ClusterSpec
+from repro.configspace import ConfigSpace, ml_config_space
+from repro.core.strategy import SearchStrategy, TuningBudget, TuningResult
+from repro.harness import metrics
+from repro.harness.optimum import estimate_optimum
+from repro.mlsim import TrainingEnvironment
+from repro.workloads import Workload
+
+StrategyFactory = Callable[[int], SearchStrategy]
+
+
+@dataclass
+class StrategyOutcome:
+    """Aggregated results of one strategy over repeats."""
+
+    name: str
+    results: List[TuningResult]
+    normalized_best: List[float]
+    mean_curve: List[float]
+    trials_to_5pct: List[Optional[int]]
+    cost_to_5pct: List[Optional[float]]
+    trials_to_10pct: List[Optional[int]]
+    mean_total_cost_s: float
+
+    @property
+    def mean_normalized_best(self) -> float:
+        return float(np.mean(self.normalized_best))
+
+    @property
+    def std_normalized_best(self) -> float:
+        return float(np.std(self.normalized_best))
+
+    def mean_trials_to(self, which: str = "5pct") -> Optional[float]:
+        """Mean trials-to-threshold over repeats that reached it."""
+        values = self.trials_to_5pct if which == "5pct" else self.trials_to_10pct
+        reached = [v for v in values if v is not None]
+        if not reached:
+            return None
+        return float(np.mean(reached))
+
+    def reach_rate(self, which: str = "5pct") -> float:
+        """Fraction of repeats that got within the threshold."""
+        values = self.trials_to_5pct if which == "5pct" else self.trials_to_10pct
+        return sum(v is not None for v in values) / len(values)
+
+
+@dataclass
+class Comparison:
+    """A full head-to-head experiment."""
+
+    workload: str
+    cluster_nodes: int
+    optimum_value: float
+    optimum_config: dict
+    budget_trials: Optional[int]
+    outcomes: Dict[str, StrategyOutcome] = field(default_factory=dict)
+
+    def ranking(self) -> List[str]:
+        """Strategy names, best mean normalized performance first."""
+        return sorted(
+            self.outcomes,
+            key=lambda name: -self.outcomes[name].mean_normalized_best,
+        )
+
+
+def compare_strategies(
+    strategies: Dict[str, StrategyFactory],
+    workload: Workload,
+    cluster: ClusterSpec,
+    budget: TuningBudget,
+    repeats: int = 3,
+    objective: str = "throughput",
+    fidelity: str = "analytic",
+    space: Optional[ConfigSpace] = None,
+    env_seed: int = 0,
+    seed: int = 0,
+) -> Comparison:
+    """Run every strategy ``repeats`` times and aggregate.
+
+    Each repeat uses a distinct strategy seed but the *same* environment
+    seed (same cluster, same per-trial-index noise): strategies are
+    compared on an identical problem instance, the simulation analogue of
+    benchmarking tuners against one physical deployment.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    space = space or ml_config_space(cluster.total_nodes)
+
+    reference_env = TrainingEnvironment(
+        workload, cluster, seed=env_seed, fidelity="analytic", objective_name=objective
+    )
+    optimum_config, optimum_value = estimate_optimum(reference_env, space, seed=seed)
+
+    comparison = Comparison(
+        workload=workload.name,
+        cluster_nodes=cluster.total_nodes,
+        optimum_value=optimum_value,
+        optimum_config=optimum_config,
+        budget_trials=budget.max_trials,
+    )
+
+    for name, factory in strategies.items():
+        results: List[TuningResult] = []
+        for repeat in range(repeats):
+            strategy = factory(seed + repeat)
+            env = TrainingEnvironment(
+                workload,
+                cluster,
+                seed=env_seed,
+                fidelity=fidelity,
+                objective_name=objective,
+            )
+            results.append(strategy.run(env, space, budget, seed=seed + repeat))
+        curves = [metrics.normalized_best_so_far(r, optimum_value) for r in results]
+        comparison.outcomes[name] = StrategyOutcome(
+            name=name,
+            results=results,
+            normalized_best=[
+                metrics.normalize_objective(r.best_objective, optimum_value)
+                for r in results
+            ],
+            mean_curve=metrics.mean_curve(curves),
+            trials_to_5pct=[
+                metrics.trials_to_within(r, optimum_value, 0.05) for r in results
+            ],
+            cost_to_5pct=[
+                metrics.cost_to_within(r, optimum_value, 0.05) for r in results
+            ],
+            trials_to_10pct=[
+                metrics.trials_to_within(r, optimum_value, 0.10) for r in results
+            ],
+            mean_total_cost_s=float(np.mean([r.total_cost_s for r in results])),
+        )
+    return comparison
+
+
+def standard_strategy_set(seed_offset: int = 0) -> Dict[str, StrategyFactory]:
+    """The five-tuner lineup used by the convergence figures."""
+    from repro.baselines import (
+        CherryPick,
+        CoordinateDescent,
+        GridSearch,
+        RandomSearch,
+        SimulatedAnnealing,
+        SuccessiveHalving,
+    )
+    from repro.core import MLConfigTuner
+
+    return {
+        "mlconfig-bo": lambda seed: MLConfigTuner(seed=seed + seed_offset),
+        "cherrypick": lambda seed: CherryPick(seed=seed + seed_offset),
+        "random": lambda seed: RandomSearch(),
+        "grid": lambda seed: GridSearch(seed=seed + seed_offset),
+        "annealing": lambda seed: SimulatedAnnealing(seed=seed + seed_offset),
+        "coordinate": lambda seed: CoordinateDescent(seed=seed + seed_offset),
+        "halving": lambda seed: SuccessiveHalving(seed=seed + seed_offset),
+    }

@@ -1,0 +1,930 @@
+"""Experiment definitions: one function per table/figure of the evaluation.
+
+Each ``exp_*`` function runs (or reuses, via memoisation) the simulations
+behind one table or figure and returns an :class:`ExperimentTable` — the
+exact rows the paper-style artefact reports.  The benchmark suite
+(``benchmarks/bench_*.py``) calls these and prints them; EXPERIMENTS.md
+records a reference run.
+
+All experiments are *reconstructions*: the target paper's text was not
+available (see DESIGN.md), so the experiment set follows the standard
+ICDCS-era tuner evaluation recipe (speedup table, convergence curves,
+search cost, TTA, scalability, sync-mode crossover, ablations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines import (
+    CherryPick,
+    OtterTuneStyle,
+    RandomSearch,
+    WorkloadRepository,
+    default_strategy,
+    expert_strategy,
+)
+from repro.cluster import ClusterSpec, homogeneous
+from repro.configspace import ml_config_space, to_training_config
+from repro.core import MLConfigTuner, TuningBudget
+from repro.harness import metrics
+from repro.harness.comparison import (
+    Comparison,
+    compare_strategies,
+    standard_strategy_set,
+)
+from repro.harness.optimum import estimate_optimum
+from repro.harness.tables import render_table
+from repro.mlsim import (
+    DEFAULT_CONFIG,
+    TrainingConfig,
+    TrainingEnvironment,
+    estimate,
+)
+from repro.workloads import MODEL_ZOO, SUITE, core_suite, get_workload
+
+
+@dataclass
+class ExperimentTable:
+    """One reproduced table/figure: id, caption, and tabular data."""
+
+    exp_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[Any]]
+    notes: str = ""
+
+    def render(self) -> str:
+        text = render_table(self.headers, self.rows, title=f"[{self.exp_id}] {self.title}")
+        if self.notes:
+            text += f"\n  note: {self.notes}"
+        return text
+
+
+# Memoised heavy computations, keyed by experiment parameters, so multiple
+# benchmarks (F2 and F3 share comparisons) don't redo identical sweeps.
+_memo: Dict[tuple, Any] = {}
+
+
+def _memoised(key: tuple, compute: Callable[[], Any]) -> Any:
+    if key not in _memo:
+        _memo[key] = compute()
+    return _memo[key]
+
+
+def clear_experiment_cache() -> None:
+    """Drop memoised experiment data (used by tests)."""
+    _memo.clear()
+
+
+# ---------------------------------------------------------------------------
+# T1: configuration space
+# ---------------------------------------------------------------------------
+
+def exp_t1_config_space(nodes: int = 16) -> ExperimentTable:
+    """The tuned configuration space (knobs, ranges, cardinalities)."""
+    space = ml_config_space(nodes)
+    rows = [
+        [row["name"], row["type"].replace("Parameter", ""), row["range"], row["cardinality"]]
+        for row in space.describe()
+    ]
+    rows.append(["TOTAL (unconstrained)", "", "", space.cardinality()])
+    return ExperimentTable(
+        exp_id="T1",
+        title=f"Configuration space for a {nodes}-node cluster",
+        headers=["knob", "type", "range", "cardinality"],
+        rows=rows,
+        notes="constraints remove infeasible placements (ps+workers must fit)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# T2: workload zoo
+# ---------------------------------------------------------------------------
+
+def exp_t2_workloads() -> ExperimentTable:
+    """Workload characteristics (the tuning-difficulty fingerprint)."""
+    rows = []
+    for name in sorted(SUITE):
+        wl = SUITE[name]
+        model = wl.model
+        rows.append(
+            [
+                wl.name,
+                model.family,
+                model.flops_per_sample / 1e9,
+                model.param_bytes / 1e6,
+                model.compute_comm_ratio,
+                model.convergence.ref_batch,
+                model.convergence.critical_batch,
+                wl.dataset.num_samples,
+            ]
+        )
+    return ExperimentTable(
+        exp_id="T2",
+        title="Workload suite",
+        headers=[
+            "workload",
+            "family",
+            "GFLOP/sample",
+            "param MB",
+            "FLOP/byte",
+            "ref batch",
+            "critical batch",
+            "dataset size",
+        ],
+        rows=rows,
+        notes="FLOP/byte spans 3 orders of magnitude: compute- to communication-bound",
+    )
+
+
+# ---------------------------------------------------------------------------
+# T3: speedup of tuned configuration over default/expert
+# ---------------------------------------------------------------------------
+
+def exp_t3_speedup(
+    nodes: int = 16, budget_trials: int = 30, seed: int = 0
+) -> ExperimentTable:
+    """Best-found throughput per workload: tuner vs default vs expert."""
+
+    def compute() -> List[List[Any]]:
+        rows = []
+        cluster = homogeneous(nodes)
+        space = ml_config_space(nodes)
+        for name in sorted(SUITE):
+            workload = SUITE[name]
+            env_args = dict(workload=workload, cluster=cluster, seed=seed)
+            opt_env = TrainingEnvironment(**env_args)
+            _, optimum = estimate_optimum(opt_env, space, seed=seed)
+
+            tuned = MLConfigTuner(seed=seed).run(
+                TrainingEnvironment(**env_args),
+                space,
+                TuningBudget(max_trials=budget_trials),
+                seed=seed,
+            )
+            default = default_strategy().run(
+                TrainingEnvironment(**env_args), space, TuningBudget(max_trials=1), seed=seed
+            )
+            expert = expert_strategy(nodes, workload.compute_comm_ratio).run(
+                TrainingEnvironment(**env_args), space, TuningBudget(max_trials=1), seed=seed
+            )
+            tuned_obj = tuned.best_objective or 0.0
+            default_obj = default.best_objective or float("nan")
+            expert_obj = expert.best_objective or float("nan")
+            rows.append(
+                [
+                    name,
+                    default_obj,
+                    expert_obj,
+                    tuned_obj,
+                    metrics.speedup(tuned_obj, default_obj) if default_obj else None,
+                    metrics.speedup(tuned_obj, expert_obj) if expert_obj else None,
+                    metrics.normalize_objective(tuned_obj, optimum),
+                ]
+            )
+        return rows
+
+    rows = _memoised(("t3", nodes, budget_trials, seed), compute)
+    return ExperimentTable(
+        exp_id="T3",
+        title=f"Tuned vs default vs expert throughput ({nodes} nodes, {budget_trials} trials)",
+        headers=[
+            "workload",
+            "default (smp/s)",
+            "expert (smp/s)",
+            "tuned (smp/s)",
+            "speedup vs default",
+            "speedup vs expert",
+            "fraction of optimum",
+        ],
+        rows=rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# F1: response-surface slices
+# ---------------------------------------------------------------------------
+
+def exp_f1_surface(
+    workload_name: str = "resnet50-imagenet",
+    nodes: int = 16,
+    seed: int = 0,
+    fidelity: str = "event",
+) -> ExperimentTable:
+    """Throughput over (num_ps, num_workers) — the surface the tuner searches."""
+    workload = get_workload(workload_name)
+    cluster = homogeneous(nodes)
+    env = TrainingEnvironment(
+        workload, cluster, seed=seed, fidelity=fidelity, noise_cv=0.0
+    )
+    ps_values = [1, 2, 4, 8]
+    worker_values = [2, 4, 8, 12, 14]
+    rows = []
+    for num_ps in ps_values:
+        row: List[Any] = [num_ps]
+        for workers in worker_values:
+            if num_ps + workers > nodes:
+                row.append(None)
+                continue
+            config = TrainingConfig(
+                num_workers=workers, num_ps=num_ps, batch_per_worker=32
+            )
+            measurement = env.measure(config)
+            row.append(measurement.throughput if measurement.ok else None)
+        rows.append(row)
+    return ExperimentTable(
+        exp_id="F1",
+        title=f"Throughput (samples/s) vs #PS × #workers — {workload_name}, {fidelity} fidelity",
+        headers=["num_ps \\ workers"] + [str(w) for w in worker_values],
+        rows=rows,
+        notes="ridge structure: too few PS saturates server NICs; too many wastes workers",
+    )
+
+
+# ---------------------------------------------------------------------------
+# F2 + F3: convergence curves and search cost (shared comparisons)
+# ---------------------------------------------------------------------------
+
+def _core_comparisons(
+    nodes: int, budget_trials: int, repeats: int, seed: int
+) -> Dict[str, Comparison]:
+    def compute() -> Dict[str, Comparison]:
+        cluster = homogeneous(nodes)
+        comparisons = {}
+        for workload in core_suite():
+            comparisons[workload.name] = compare_strategies(
+                standard_strategy_set(),
+                workload,
+                cluster,
+                TuningBudget(max_trials=budget_trials),
+                repeats=repeats,
+                seed=seed,
+            )
+        return comparisons
+
+    return _memoised(("core-comparisons", nodes, budget_trials, repeats, seed), compute)
+
+
+def exp_f2_convergence(
+    nodes: int = 16,
+    budget_trials: int = 36,
+    repeats: int = 2,
+    seed: int = 0,
+    checkpoints: Sequence[int] = (4, 8, 12, 16, 20, 24, 30, 36),
+) -> List[ExperimentTable]:
+    """Normalized best-so-far vs trial count, one table per core workload."""
+    comparisons = _core_comparisons(nodes, budget_trials, repeats, seed)
+    tables = []
+    for workload_name, comparison in comparisons.items():
+        headers = ["trial"] + list(comparison.outcomes.keys())
+        rows = []
+        for checkpoint in checkpoints:
+            if checkpoint > budget_trials:
+                continue
+            row: List[Any] = [checkpoint]
+            for name in comparison.outcomes:
+                curve = comparison.outcomes[name].mean_curve
+                index = min(checkpoint, len(curve)) - 1
+                row.append(curve[index])
+            rows.append(row)
+        tables.append(
+            ExperimentTable(
+                exp_id="F2",
+                title=f"Mean normalized best-so-far — {workload_name} "
+                f"({repeats} repeats, optimum={comparison.optimum_value:.1f})",
+                headers=headers,
+                rows=rows,
+            )
+        )
+    return tables
+
+
+def exp_f3_search_cost(
+    nodes: int = 16, budget_trials: int = 36, repeats: int = 2, seed: int = 0
+) -> ExperimentTable:
+    """Trials and simulated hours to reach within 5%/10% of the optimum."""
+    comparisons = _core_comparisons(nodes, budget_trials, repeats, seed)
+    rows = []
+    for workload_name, comparison in comparisons.items():
+        for name, outcome in comparison.outcomes.items():
+            cost_5 = [c for c in outcome.cost_to_5pct if c is not None]
+            rows.append(
+                [
+                    workload_name,
+                    name,
+                    outcome.mean_normalized_best,
+                    outcome.mean_trials_to("10pct"),
+                    outcome.reach_rate("10pct"),
+                    outcome.mean_trials_to("5pct"),
+                    outcome.reach_rate("5pct"),
+                    float(np.mean(cost_5)) / 3600.0 if cost_5 else None,
+                    outcome.mean_total_cost_s / 3600.0,
+                ]
+            )
+    return ExperimentTable(
+        exp_id="F3",
+        title="Search cost to reach near-optimal configurations",
+        headers=[
+            "workload",
+            "strategy",
+            "final norm. perf",
+            "trials→10%",
+            "reach@10%",
+            "trials→5%",
+            "reach@5%",
+            "hours→5%",
+            "total probe hours",
+        ],
+        rows=rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# F4: time-to-accuracy
+# ---------------------------------------------------------------------------
+
+def exp_f4_tta(
+    nodes: int = 16,
+    budget_trials: int = 30,
+    seed: int = 0,
+    workload_names: Sequence[str] = ("resnet50-imagenet", "lstm-ptb"),
+) -> ExperimentTable:
+    """Tuning for time-to-accuracy instead of throughput."""
+
+    def compute() -> List[List[Any]]:
+        rows = []
+        cluster = homogeneous(nodes)
+        space = ml_config_space(nodes)
+        for name in workload_names:
+            workload = get_workload(name)
+            env_args = dict(
+                workload=workload, cluster=cluster, seed=seed, objective_name="tta"
+            )
+            tuned = MLConfigTuner(seed=seed).run(
+                TrainingEnvironment(**env_args),
+                space,
+                TuningBudget(max_trials=budget_trials),
+                seed=seed,
+            )
+            default = default_strategy().run(
+                TrainingEnvironment(**env_args), space, TuningBudget(max_trials=1), seed=seed
+            )
+            expert = expert_strategy(nodes, workload.compute_comm_ratio).run(
+                TrainingEnvironment(**env_args), space, TuningBudget(max_trials=1), seed=seed
+            )
+            tuned_tta = -tuned.best_objective / 3600.0
+            default_tta = -default.best_objective / 3600.0
+            expert_tta = -expert.best_objective / 3600.0
+            search_hours = tuned.total_cost_s / 3600.0
+            rows.append(
+                [
+                    name,
+                    default_tta,
+                    expert_tta,
+                    tuned_tta,
+                    default_tta / tuned_tta,
+                    expert_tta / tuned_tta,
+                    search_hours,
+                    (default_tta - tuned_tta) > search_hours,
+                ]
+            )
+        return rows
+
+    rows = _memoised(("f4", nodes, budget_trials, seed, tuple(workload_names)), compute)
+    return ExperimentTable(
+        exp_id="F4",
+        title="Time-to-accuracy: tuned vs default vs expert (hours)",
+        headers=[
+            "workload",
+            "default TTA h",
+            "expert TTA h",
+            "tuned TTA h",
+            "TTA speedup vs default",
+            "vs expert",
+            "search cost h",
+            "search pays off in 1 run",
+        ],
+        rows=rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# F5: scalability with cluster size
+# ---------------------------------------------------------------------------
+
+def exp_f5_scalability(
+    node_counts: Sequence[int] = (8, 16, 32, 64),
+    budget_trials: int = 30,
+    seed: int = 0,
+    workload_name: str = "resnet50-imagenet",
+) -> ExperimentTable:
+    """Tuning quality as the cluster (and the config space) grows."""
+
+    def compute() -> List[List[Any]]:
+        rows = []
+        workload = get_workload(workload_name)
+        for nodes in node_counts:
+            cluster = homogeneous(nodes)
+            space = ml_config_space(nodes)
+            env_args = dict(workload=workload, cluster=cluster, seed=seed)
+            opt_env = TrainingEnvironment(**env_args)
+            _, optimum = estimate_optimum(opt_env, space, seed=seed)
+            tuned = MLConfigTuner(seed=seed).run(
+                TrainingEnvironment(**env_args),
+                space,
+                TuningBudget(max_trials=budget_trials),
+                seed=seed,
+            )
+            random = RandomSearch().run(
+                TrainingEnvironment(**env_args),
+                space,
+                TuningBudget(max_trials=budget_trials),
+                seed=seed,
+            )
+            rows.append(
+                [
+                    nodes,
+                    optimum,
+                    metrics.normalize_objective(tuned.best_objective, optimum),
+                    metrics.normalize_objective(random.best_objective, optimum),
+                    space.cardinality(),
+                ]
+            )
+        return rows
+
+    rows = _memoised(
+        ("f5", tuple(node_counts), budget_trials, seed, workload_name), compute
+    )
+    return ExperimentTable(
+        exp_id="F5",
+        title=f"Tuning quality vs cluster size — {workload_name}, {budget_trials} trials",
+        headers=[
+            "nodes",
+            "optimum (smp/s)",
+            "BO fraction of opt",
+            "random fraction of opt",
+            "space cardinality",
+        ],
+        rows=rows,
+        notes="the BO tuner's advantage over random grows with the space",
+    )
+
+
+# ---------------------------------------------------------------------------
+# F6: synchronisation-mode crossover under stragglers
+# ---------------------------------------------------------------------------
+
+def exp_f6_sync_crossover(
+    nodes: int = 16,
+    seed: int = 0,
+    workload_name: str = "mlp-criteo",
+    slowdowns: Sequence[float] = (1.0, 0.8, 0.6, 0.4),
+    straggler_fraction: float = 0.25,
+) -> ExperimentTable:
+    """Best BSP vs ASP vs SSP objective as stragglers intensify.
+
+    Tuned for time-to-accuracy so ASP's staleness penalty is visible: pure
+    throughput would always favour ASP under stragglers.
+    """
+
+    def compute() -> List[List[Any]]:
+        workload = get_workload(workload_name)
+        rows = []
+        for slowdown in slowdowns:
+            cluster = homogeneous(
+                nodes,
+                straggler_fraction=straggler_fraction if slowdown < 1.0 else 0.0,
+                straggler_slowdown=slowdown,
+            )
+            env = TrainingEnvironment(
+                workload, cluster, seed=seed, objective_name="tta", noise_cv=0.0
+            )
+            best_by_mode: Dict[str, float] = {}
+            for mode in ("bsp", "asp", "ssp"):
+                space = ml_config_space(nodes, include_allreduce=False)
+                # Sync modes only exist under the PS architecture (all-reduce
+                # is inherently synchronous), so pin architecture=ps.  The
+                # constraint name is unique per mode: the optimum cache keys
+                # on constraint names, and identical names would collide.
+                space.constraints[f"pin_sync_{mode}"] = lambda config, mode=mode: (
+                    config["sync_mode"] == mode and config["architecture"] == "ps"
+                )
+                _, optimum = estimate_optimum(env, space, samples=1200, seed=seed)
+                best_by_mode[mode] = -optimum / 3600.0  # back to TTA hours
+            winner = min(best_by_mode, key=best_by_mode.get)
+            rows.append(
+                [
+                    slowdown,
+                    best_by_mode["bsp"],
+                    best_by_mode["asp"],
+                    best_by_mode["ssp"],
+                    winner,
+                ]
+            )
+        return rows
+
+    rows = _memoised(
+        ("f6", nodes, seed, workload_name, tuple(slowdowns), straggler_fraction),
+        compute,
+    )
+    return ExperimentTable(
+        exp_id="F6",
+        title=f"Best TTA (hours) per sync mode vs straggler severity — {workload_name}",
+        headers=[
+            "straggler speed factor",
+            "BSP best TTA h",
+            "ASP best TTA h",
+            "SSP best TTA h",
+            "winner",
+        ],
+        rows=rows,
+        notes="BSP wins on clean clusters; bounded staleness wins as stragglers worsen",
+    )
+
+
+# ---------------------------------------------------------------------------
+# A1: acquisition-function ablation
+# ---------------------------------------------------------------------------
+
+def exp_a1_acquisition(
+    nodes: int = 16,
+    budget_trials: int = 30,
+    repeats: int = 2,
+    seed: int = 0,
+    workload_name: str = "resnet50-imagenet",
+) -> ExperimentTable:
+    """EI vs PI vs UCB vs cost-aware EI inside the same tuner."""
+
+    def compute() -> List[List[Any]]:
+        workload = get_workload(workload_name)
+        cluster = homogeneous(nodes)
+        strategies = {
+            acq: (lambda seed_, acq=acq: MLConfigTuner(acquisition=acq, seed=seed_))
+            for acq in ("ei", "pi", "ucb", "eipc")
+        }
+        comparison = compare_strategies(
+            strategies,
+            workload,
+            cluster,
+            TuningBudget(max_trials=budget_trials),
+            repeats=repeats,
+            seed=seed,
+        )
+        rows = []
+        for name, outcome in comparison.outcomes.items():
+            rows.append(
+                [
+                    name,
+                    outcome.mean_normalized_best,
+                    outcome.std_normalized_best,
+                    outcome.mean_trials_to("10pct"),
+                    outcome.mean_total_cost_s / 3600.0,
+                ]
+            )
+        return rows
+
+    rows = _memoised(("a1", nodes, budget_trials, repeats, seed, workload_name), compute)
+    return ExperimentTable(
+        exp_id="A1",
+        title=f"Acquisition-function ablation — {workload_name}",
+        headers=[
+            "acquisition",
+            "mean norm. perf",
+            "std",
+            "trials→10%",
+            "total probe hours",
+        ],
+    rows=rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# A2: early-termination ablation
+# ---------------------------------------------------------------------------
+
+def exp_a2_early_termination(
+    nodes: int = 16,
+    budget_trials: int = 30,
+    repeats: int = 2,
+    seed: int = 0,
+    workload_name: str = "resnet50-imagenet",
+) -> ExperimentTable:
+    """Early termination of bad probes: quality vs search-cost trade-off."""
+
+    def compute() -> List[List[Any]]:
+        workload = get_workload(workload_name)
+        cluster = homogeneous(nodes)
+        strategies = {
+            "with-early-term": lambda s: MLConfigTuner(early_termination=True, seed=s),
+            "no-early-term": lambda s: MLConfigTuner(early_termination=False, seed=s),
+        }
+        comparison = compare_strategies(
+            strategies,
+            workload,
+            cluster,
+            TuningBudget(max_trials=budget_trials),
+            repeats=repeats,
+            seed=seed,
+        )
+        rows = []
+        for name, outcome in comparison.outcomes.items():
+            rows.append(
+                [
+                    name,
+                    outcome.mean_normalized_best,
+                    outcome.mean_total_cost_s / 3600.0,
+                    float(
+                        np.mean(
+                            [
+                                getattr(r, "probes_terminated_early", 0)
+                                for r in _tuner_objects(outcome)
+                            ]
+                        )
+                    ),
+                ]
+            )
+        return rows
+
+    def _tuner_objects(outcome):
+        # The strategy object is not retained in results; recover the count
+        # from the histories instead: short probes are those whose cost is
+        # below half the median successful probe cost.
+        counts = []
+        for result in outcome.results:
+            costs = [t.measurement.probe_cost_s for t in result.history.successful()]
+            if not costs:
+                counts.append(_Count(0))
+                continue
+            median = float(np.median(costs))
+            short = sum(1 for c in costs if c < 0.5 * median)
+            counts.append(_Count(short))
+        return counts
+
+    class _Count:
+        def __init__(self, n):
+            self.probes_terminated_early = n
+
+    rows = _memoised(("a2", nodes, budget_trials, repeats, seed, workload_name), compute)
+    return ExperimentTable(
+        exp_id="A2",
+        title=f"Early-termination ablation — {workload_name}",
+        headers=[
+            "variant",
+            "mean norm. perf",
+            "total probe hours",
+            "probes cut short (est.)",
+        ],
+        rows=rows,
+        notes="early termination trades negligible quality for lower probe cost",
+    )
+
+
+# ---------------------------------------------------------------------------
+# A3: warm-start / workload-mapping ablation
+# ---------------------------------------------------------------------------
+
+def exp_a3_warmstart(
+    nodes: int = 16,
+    budget_trials: int = 24,
+    prior_trials: int = 30,
+    seed: int = 0,
+    target_workload: str = "lstm-ptb",
+    prior_workloads: Sequence[str] = ("vgg16-imagenet", "word2vec-wiki"),
+) -> ExperimentTable:
+    """OtterTune-style transfer from previously tuned workloads."""
+
+    def compute() -> List[List[Any]]:
+        cluster = homogeneous(nodes)
+        space = ml_config_space(nodes)
+
+        # Build the repository from prior tuning sessions (random search is
+        # enough to populate it with diverse observations).
+        repository = WorkloadRepository()
+        for prior_name in prior_workloads:
+            env = TrainingEnvironment(get_workload(prior_name), cluster, seed=seed)
+            session = RandomSearch().run(
+                env, space, TuningBudget(max_trials=prior_trials), seed=seed
+            )
+            observations = [
+                (t.config, t.objective) for t in session.history.successful()
+            ]
+            repository.add_session(prior_name, observations)
+
+        workload = get_workload(target_workload)
+        opt_env = TrainingEnvironment(workload, cluster, seed=seed)
+        _, optimum = estimate_optimum(opt_env, space, seed=seed)
+
+        rows = []
+        for name, strategy in (
+            ("cold-start (cherrypick)", CherryPick(seed=seed)),
+            ("warm-start (ottertune)", OtterTuneStyle(repository=repository, seed=seed)),
+        ):
+            env = TrainingEnvironment(workload, cluster, seed=seed)
+            result = strategy.run(
+                env, space, TuningBudget(max_trials=budget_trials), seed=seed
+            )
+            curve = metrics.normalized_best_so_far(result, optimum)
+            early = curve[min(9, len(curve) - 1)]
+            rows.append(
+                [
+                    name,
+                    early,
+                    curve[-1],
+                    metrics.trials_to_within(result, optimum, 0.10),
+                    getattr(strategy, "mapped_workload", None),
+                ]
+            )
+        return rows
+
+    rows = _memoised(
+        ("a3", nodes, budget_trials, prior_trials, seed, target_workload, tuple(prior_workloads)),
+        compute,
+    )
+    return ExperimentTable(
+        exp_id="A3",
+        title=f"Warm-start ablation — target {target_workload}",
+        headers=[
+            "variant",
+            "norm. perf @10 trials",
+            "final norm. perf",
+            "trials→10%",
+            "mapped prior",
+        ],
+        rows=rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E1 (extension): gradient-compression sweep
+# ---------------------------------------------------------------------------
+
+def exp_e1_compression(
+    nodes: int = 16,
+    seed: int = 0,
+    workload_names: Sequence[str] = ("word2vec-wiki", "resnet50-imagenet"),
+    ratios: Sequence[float] = (1.0, 0.5, 0.1, 0.01),
+) -> ExperimentTable:
+    """Top-k gradient compression: throughput gain vs convergence cost.
+
+    For a communication-bound workload compression is a large TTA win; for
+    a compute-bound one it buys little and the statistical penalty can make
+    it a net loss — a trade-off the tuner can only navigate with the
+    compression knob in its space.
+    """
+
+    def compute() -> List[List[Any]]:
+        cluster = homogeneous(nodes)
+        rows = []
+        for name in workload_names:
+            workload = get_workload(name)
+            env = TrainingEnvironment(
+                workload, cluster, seed=seed, objective_name="tta", noise_cv=0.0
+            )
+            thpt_env = TrainingEnvironment(workload, cluster, seed=seed, noise_cv=0.0)
+            for ratio in ratios:
+                config = TrainingConfig(
+                    num_workers=12,
+                    num_ps=4,
+                    batch_per_worker=max(64, workload.model.min_batch_per_worker),
+                    compression_ratio=ratio,
+                )
+                throughput = thpt_env.true_objective(config)
+                tta = env.true_objective(config)
+                rows.append(
+                    [
+                        name,
+                        ratio,
+                        throughput,
+                        -tta / 3600.0 if tta is not None else None,
+                    ]
+                )
+        return rows
+
+    rows = _memoised(
+        ("e1", nodes, seed, tuple(workload_names), tuple(ratios)), compute
+    )
+    return ExperimentTable(
+        exp_id="E1",
+        title="Gradient compression sweep (fixed 12w/4ps config)",
+        headers=["workload", "compression ratio", "throughput smp/s", "TTA hours"],
+        rows=rows,
+        notes="comm-bound workloads gain; compute-bound ones pay the convergence tax",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E2 (extension): knob-importance analysis per workload
+# ---------------------------------------------------------------------------
+
+def exp_e2_importance(
+    nodes: int = 16,
+    trials: int = 40,
+    seed: int = 0,
+    workload_names: Sequence[str] = (
+        "resnet50-imagenet",
+        "lstm-ptb",
+        "word2vec-wiki",
+    ),
+) -> ExperimentTable:
+    """Which knobs matter, per workload, from the tuner's ARD surrogate.
+
+    The expected structure: parallelism/batch knobs dominate for
+    compute-bound models, PS-count and precision for communication-bound
+    ones.
+    """
+
+    def compute() -> List[List[Any]]:
+        from repro.core.importance import knob_importance
+
+        cluster = homogeneous(nodes)
+        space = ml_config_space(nodes)
+        knob_names = space.names()
+        rows = []
+        for name in workload_names:
+            env = TrainingEnvironment(get_workload(name), cluster, seed=seed)
+            session = RandomSearch().run(
+                env, space, TuningBudget(max_trials=trials), seed=seed
+            )
+            importance = knob_importance(session.history, space, seed=seed)
+            rows.append([name] + [importance[k] for k in knob_names])
+        return rows
+
+    rows = _memoised(("e2", nodes, trials, seed, tuple(workload_names)), compute)
+    space = ml_config_space(nodes)
+    return ExperimentTable(
+        exp_id="E2",
+        title="Knob importance from ARD lengthscales (fraction of total)",
+        headers=["workload"] + space.names(),
+        rows=rows,
+        notes="short lengthscale = knob matters; importance sums to 1 per row",
+    )
+
+
+# ---------------------------------------------------------------------------
+# V1 (validation): analytic vs event-driven fidelity agreement
+# ---------------------------------------------------------------------------
+
+def exp_v1_fidelity(
+    nodes: int = 16,
+    num_configs: int = 15,
+    seed: int = 0,
+    workload_names: Sequence[str] = (
+        "resnet50-imagenet",
+        "lstm-ptb",
+        "word2vec-wiki",
+    ),
+) -> ExperimentTable:
+    """Cross-validation of the two simulation fidelities (substitution check)."""
+
+    def compute() -> List[List[Any]]:
+        from repro.mlsim import cross_validate
+
+        rows = []
+        for name in workload_names:
+            report = cross_validate(
+                get_workload(name),
+                homogeneous(nodes, jitter_cv=0.0),
+                num_configs=num_configs,
+                seed=seed,
+            )
+            rows.append(report.summary_row(name))
+        return rows
+
+    rows = _memoised(("v1", nodes, num_configs, seed, tuple(workload_names)), compute)
+    return ExperimentTable(
+        exp_id="V1",
+        title="Analytic vs event-driven fidelity agreement",
+        headers=[
+            "workload",
+            "configs",
+            "mean |ratio|",
+            "best ratio",
+            "worst ratio",
+            "rank correlation",
+        ],
+        rows=rows,
+        notes="rank correlation ≈ 1 means benchmark conclusions transfer between fidelities",
+    )
+
+
+ALL_EXPERIMENTS: Dict[str, Callable[..., Any]] = {
+    "T1": exp_t1_config_space,
+    "T2": exp_t2_workloads,
+    "T3": exp_t3_speedup,
+    "F1": exp_f1_surface,
+    "F2": exp_f2_convergence,
+    "F3": exp_f3_search_cost,
+    "F4": exp_f4_tta,
+    "F5": exp_f5_scalability,
+    "F6": exp_f6_sync_crossover,
+    "A1": exp_a1_acquisition,
+    "A2": exp_a2_early_termination,
+    "A3": exp_a3_warmstart,
+    "E1": exp_e1_compression,
+    "E2": exp_e2_importance,
+    "V1": exp_v1_fidelity,
+}

@@ -1,0 +1,98 @@
+"""Evaluation metrics for tuning sessions.
+
+The metrics mirror what the tuning papers report:
+
+- *normalized performance*: best found objective relative to the true
+  optimum (1.0 = found the optimum), sign-aware so it works for both
+  throughput (maximise positive) and time-to-accuracy (maximise negative);
+- *best-so-far curves*: normalized performance after each trial (figure F2);
+- *search cost to within x%*: trials and simulated probe-hours until the
+  tuner first holds a configuration within ``x`` of the optimum (figure F3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.strategy import TuningResult
+
+
+def normalize_objective(value: Optional[float], optimum: float) -> float:
+    """Objective → fraction of optimum in (−∞, 1]; 0 for no success.
+
+    For positive objectives (throughput) this is ``value / optimum``; for
+    negative ones (negated TTA) it is ``optimum / value`` so that smaller
+    TTA still maps to larger normalized performance.
+    """
+    if optimum == 0:
+        raise ValueError("optimum must be non-zero")
+    if value is None:
+        return 0.0
+    if optimum > 0:
+        return value / optimum
+    if value >= 0:  # can't happen for a sane negative-objective env
+        return 0.0
+    return optimum / value
+
+
+def normalized_best_so_far(result: TuningResult, optimum: float) -> List[float]:
+    """Normalized best-so-far after each trial."""
+    return [
+        normalize_objective(v, optimum) for v in result.history.best_so_far_series()
+    ]
+
+
+def trials_to_within(
+    result: TuningResult, optimum: float, fraction: float
+) -> Optional[int]:
+    """Trials until normalized performance first reaches ``1 - fraction``."""
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must be in (0, 1)")
+    target = 1.0 - fraction
+    for index, value in enumerate(normalized_best_so_far(result, optimum)):
+        if value >= target:
+            return index + 1
+    return None
+
+
+def cost_to_within(
+    result: TuningResult, optimum: float, fraction: float
+) -> Optional[float]:
+    """Simulated probe seconds until within ``fraction`` of the optimum."""
+    trials = trials_to_within(result, optimum, fraction)
+    if trials is None:
+        return None
+    return result.history[trials - 1].cumulative_cost_s
+
+
+def mean_curve(curves: Sequence[Sequence[float]]) -> List[float]:
+    """Pointwise mean of equally-long best-so-far curves.
+
+    Shorter curves (strategies that stopped early) are extended by holding
+    their final value — a stopped tuner keeps its best configuration.
+    """
+    if not curves:
+        raise ValueError("need at least one curve")
+    length = max(len(c) for c in curves)
+    padded = []
+    for curve in curves:
+        if not curve:
+            raise ValueError("empty curve")
+        tail = [curve[-1]] * (length - len(curve))
+        padded.append(list(curve) + tail)
+    return list(np.mean(np.array(padded), axis=0))
+
+
+def speedup(best_objective: float, reference_objective: float) -> float:
+    """How much better the tuned configuration is than a reference.
+
+    For throughput objectives this is the plain ratio; for negated-TTA
+    objectives the ratio of TTAs (reference / tuned).
+    """
+    if reference_objective == 0:
+        raise ValueError("reference objective must be non-zero")
+    if reference_objective > 0:
+        return best_objective / reference_objective
+    return reference_objective / best_objective

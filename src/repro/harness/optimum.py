@@ -1,0 +1,91 @@
+"""Estimating the true optimum of a tuning problem.
+
+The evaluation normalises every tuner's result against the best achievable
+objective.  On a real cluster that value is unknowable; with the simulator
+we can estimate it to high confidence using the *noise-free* objective
+(:meth:`TrainingEnvironment.true_objective`) — which tuners never see —
+and a large search budget: dense random sampling, the full coarse grid, and
+exhaustive single-knob refinement from the best points found.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.configspace import ConfigDict, ConfigSpace
+from repro.mlsim import TrainingEnvironment
+
+_cache: Dict[tuple, Tuple[ConfigDict, float]] = {}
+
+
+def _cache_key(env: TrainingEnvironment, space: ConfigSpace, samples: int, seed: int):
+    return (
+        env.workload.name,
+        env.cluster,
+        env.objective_name,
+        env.seed,
+        tuple(space.names()),
+        tuple(sorted(space.constraints)),  # pinned-knob variants must not collide
+        samples,
+        seed,
+    )
+
+
+def estimate_optimum(
+    env: TrainingEnvironment,
+    space: ConfigSpace,
+    samples: int = 3000,
+    grid_resolution: int = 3,
+    refinement_rounds: int = 30,
+    seed: int = 0,
+) -> Tuple[ConfigDict, float]:
+    """Best (config, objective) pair found by a large noise-free search.
+
+    Results are memoised per (workload, cluster, objective, space) so the
+    harness can normalise many tuning runs against one optimum estimate.
+    """
+    key = _cache_key(env, space, samples, seed)
+    if key in _cache:
+        return _cache[key]
+
+    rng = np.random.default_rng(seed)
+    best_config: Optional[ConfigDict] = None
+    best_value = -np.inf
+
+    def consider(config: ConfigDict) -> None:
+        nonlocal best_config, best_value
+        from repro.configspace import to_training_config
+
+        value = env.true_objective(to_training_config(config))
+        if value is not None and value > best_value:
+            best_config, best_value = dict(config), value
+
+    for config in space.grid(grid_resolution):
+        consider(config)
+    for config in space.sample_batch(rng, samples):
+        consider(config)
+    if best_config is None:
+        raise RuntimeError("no feasible configuration found while estimating optimum")
+
+    # Exhaustive single-knob hill climbing from the incumbent.
+    for _ in range(refinement_rounds):
+        improved = False
+        for neighbor in space.neighbors(best_config, rng):
+            from repro.configspace import to_training_config
+
+            value = env.true_objective(to_training_config(neighbor))
+            if value is not None and value > best_value:
+                best_config, best_value = dict(neighbor), value
+                improved = True
+        if not improved:
+            break
+
+    _cache[key] = (best_config, best_value)
+    return best_config, best_value
+
+
+def clear_optimum_cache() -> None:
+    """Drop memoised optima (used by tests)."""
+    _cache.clear()

@@ -1,0 +1,350 @@
+"""Analytic performance model for distributed training.
+
+This is the fast fidelity mode: closed-form iteration-time and throughput
+estimates derived from the same first-order bottleneck analysis the tuning
+papers use to *explain* their measurements.  The discrete-event simulators
+in :mod:`repro.mlsim.ps` and :mod:`repro.mlsim.allreduce` are the reference
+implementation; the unit tests cross-validate the two on configurations
+where the analytic assumptions hold.
+
+Model structure
+---------------
+Per iteration, each worker performs:
+
+1. *compute*: forward+backward over its minibatch, scaled by the node's
+   effective throughput and the intra-op thread setting;
+2. *push*: send the gradient (sharded over the parameter servers);
+3. *pull*: fetch fresh parameters.
+
+BSP pays the slowest worker's compute (straggler tail) plus synchronous
+communication.  ASP removes the barrier: throughput becomes the minimum of
+the compute-limited, worker-NIC-limited, and PS-NIC-limited aggregate rates,
+at the price of gradient staleness.  SSP interpolates between the two with
+the staleness bound.  Ring all-reduce replaces the PS exchange with the
+classic 2(n-1)/n pattern bottlenecked by the slowest NIC in the ring.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.cluster import ClusterSpec, PlacementError, place
+from repro.mlsim.config import TrainingConfig
+from repro.mlsim.pipeline import effective_iteration_time, iteration_input_time
+from repro.workloads import Workload
+
+# Fixed per-iteration overhead: kernel launches, queue hops, framework
+# bookkeeping.  Matches the few-millisecond floors measured on real systems.
+ITERATION_OVERHEAD_S = 2.5e-3
+
+# Fraction of synchronous communication that overlaps with compute
+# (gradient push of deep layers overlaps with backprop of shallow ones).
+BSP_OVERLAP = 0.3
+
+# Per-job startup cost charged to every measurement probe: process launch,
+# graph construction, data-pipeline warmup.
+STARTUP_OVERHEAD_S = 30.0
+
+
+class InfeasibleConfigError(ValueError):
+    """Raised when a configuration cannot run on the cluster at all."""
+
+
+@dataclass(frozen=True)
+class PerfEstimate:
+    """Closed-form performance estimate for one configuration.
+
+    Attributes
+    ----------
+    iteration_time_s:
+        Mean wall-clock time of one *global* iteration (BSP) or one average
+        update round (ASP/SSP, i.e. ``num_workers`` updates).
+    throughput:
+        Training throughput in samples/second.
+    mean_staleness:
+        Average gradient staleness in updates (0 under BSP).
+    compute_time_s / comm_time_s:
+        Per-iteration breakdown (critical-path values).
+    bottleneck:
+        Which resource limits throughput: ``"compute"``, ``"worker-nic"``,
+        ``"ps-nic"``, or ``"ring"``.
+    """
+
+    iteration_time_s: float
+    throughput: float
+    mean_staleness: float
+    compute_time_s: float
+    comm_time_s: float
+    bottleneck: str
+
+
+def check_feasible(
+    config: TrainingConfig, workload: Workload, cluster: ClusterSpec
+) -> None:
+    """Raise :class:`InfeasibleConfigError` if the config cannot run.
+
+    Checks machine count (placement) and worker memory (model replica +
+    optimizer state + activations must fit).  These are the two failure
+    modes a real tuner observes as crashed trials.
+    """
+    try:
+        place(
+            cluster.total_nodes,
+            config.num_ps if config.uses_ps else 0,
+            config.num_workers,
+            config.colocate_ps if config.uses_ps else False,
+        )
+    except PlacementError as exc:
+        raise InfeasibleConfigError(str(exc)) from exc
+
+    model = workload.model
+    # Weights + gradients + optimizer state (momentum): 3x parameters.
+    replica_bytes = 3.0 * model.param_bytes
+    activation_bytes = config.batch_per_worker * model.activation_bytes_per_sample
+    worker_mem = min(spec.mem_gb for spec, _ in cluster.pools) * 1e9
+    needed = replica_bytes + activation_bytes
+    if needed > worker_mem:
+        raise InfeasibleConfigError(
+            f"worker memory: need {needed / 1e9:.1f} GB "
+            f"(replica {replica_bytes / 1e9:.1f} + activations {activation_bytes / 1e9:.1f}), "
+            f"node has {worker_mem / 1e9:.1f} GB"
+        )
+    if config.batch_per_worker < model.min_batch_per_worker:
+        raise InfeasibleConfigError(
+            f"batch_per_worker {config.batch_per_worker} below model minimum "
+            f"{model.min_batch_per_worker}"
+        )
+    min_cores = min(spec.cores for spec, _ in cluster.pools)
+    if config.io_threads >= min_cores:
+        raise InfeasibleConfigError(
+            f"io_threads {config.io_threads} leaves no compute cores on a "
+            f"{min_cores}-core node"
+        )
+
+
+def _straggler_tail_factor(num_workers: int, jitter_cv: float) -> float:
+    """Expected max of ``n`` unit-mean lognormal draws, relative to the mean.
+
+    Standard extreme-value approximation: E[max] ≈ exp(σ·√(2·ln n)).  This
+    is the stochastic part of the BSP straggler tail; persistent stragglers
+    enter through per-node speed factors separately.
+    """
+    if num_workers <= 1 or jitter_cv <= 0:
+        return 1.0
+    return math.exp(jitter_cv * math.sqrt(2.0 * math.log(num_workers)))
+
+
+def worker_compute_times(
+    config: TrainingConfig,
+    workload: Workload,
+    cluster: ClusterSpec,
+    speed_factors: Sequence[float],
+) -> List[float]:
+    """Per-worker mean compute time for one local minibatch.
+
+    ``speed_factors`` has one entry per *worker*, in placement order,
+    already including persistent-straggler slowdowns.
+    """
+    flops = workload.model.flops_per_sample * config.batch_per_worker
+    node_specs = cluster.node_specs()
+    placement = place(
+        cluster.total_nodes,
+        config.num_ps if config.uses_ps else 0,
+        config.num_workers,
+        config.colocate_ps if config.uses_ps else False,
+    )
+    times = []
+    for rank, node_id in enumerate(placement.worker_nodes):
+        spec = node_specs[node_id]
+        base_rate = spec.gflops * 1e9 * speed_factors[rank]
+        # Cores dedicated to the input pipeline are unavailable for math.
+        available = spec.cores - config.io_threads
+        if available < 1:
+            raise InfeasibleConfigError(
+                f"io_threads {config.io_threads} starves compute on node {node_id}"
+            )
+        threads = config.intra_op_threads
+        if threads == 0 or threads >= available:
+            threads = available
+        if threads >= spec.cores:
+            rate = base_rate
+        else:
+            fraction = threads / spec.cores
+            rate = base_rate * fraction * (1.0 + 0.1 * (1.0 - fraction))
+        train_time = flops / rate + ITERATION_OVERHEAD_S
+        input_time = iteration_input_time(
+            spec, workload.dataset, config.io_threads, config.batch_per_worker
+        )
+        times.append(
+            effective_iteration_time(train_time, input_time, config.prefetch_batches)
+        )
+    return times
+
+
+def estimate(
+    config: TrainingConfig,
+    workload: Workload,
+    cluster: ClusterSpec,
+    speed_factors: Sequence[float] | None = None,
+) -> PerfEstimate:
+    """Closed-form performance estimate for ``config`` on ``cluster``.
+
+    ``speed_factors`` (one per worker) defaults to all-ones; the measurement
+    layer passes the instantiated cluster's factors so analytic and
+    event-driven fidelities see the same hardware.
+
+    Raises :class:`InfeasibleConfigError` for unrunnable configurations.
+    """
+    config = config.canonical()
+    check_feasible(config, workload, cluster)
+    if speed_factors is None:
+        speed_factors = [1.0] * config.num_workers
+    if len(speed_factors) != config.num_workers:
+        raise ValueError(
+            f"need {config.num_workers} speed factors, got {len(speed_factors)}"
+        )
+
+    model = workload.model
+    grad_bytes = model.param_bytes * config.gradient_bytes_factor
+    comp_times = worker_compute_times(config, workload, cluster, speed_factors)
+    mean_comp = sum(comp_times) / len(comp_times)
+    tail = _straggler_tail_factor(config.num_workers, cluster.jitter_cv)
+    max_comp = max(comp_times) * tail
+
+    if config.uses_ps:
+        return _estimate_ps(config, workload, cluster, grad_bytes, comp_times, mean_comp, max_comp)
+    return _estimate_allreduce(config, cluster, grad_bytes, max_comp)
+
+
+def _nic_rates(config: TrainingConfig, cluster: ClusterSpec) -> tuple:
+    """(worker NIC, PS NIC) bytes/sec, accounting for colocation sharing."""
+    node_specs = cluster.node_specs()
+    placement = place(
+        cluster.total_nodes,
+        config.num_ps if config.uses_ps else 0,
+        config.num_workers,
+        config.colocate_ps if config.uses_ps else False,
+    )
+    worker_nic = min(node_specs[n].nic_bytes_per_sec for n in placement.worker_nodes)
+    if config.uses_ps and placement.ps_nodes:
+        ps_nic = min(node_specs[n].nic_bytes_per_sec for n in placement.ps_nodes)
+        if config.colocate_ps:
+            # PS and worker traffic share the node NIC.  With full-duplex
+            # links, a worker's push and the colocated server's gradient
+            # ingress use opposite directions, but pulls and parameter
+            # egress collide: halve effective capacity.
+            worker_nic *= 0.5
+            ps_nic *= 0.5
+    else:
+        ps_nic = float("inf")
+    return worker_nic, ps_nic
+
+
+def _estimate_ps(
+    config: TrainingConfig,
+    workload: Workload,
+    cluster: ClusterSpec,
+    grad_bytes: float,
+    comp_times: Sequence[float],
+    mean_comp: float,
+    max_comp: float,
+) -> PerfEstimate:
+    worker_nic, ps_nic = _nic_rates(config, cluster)
+    latency = cluster.latency_s
+    shard_bytes = grad_bytes / config.num_ps
+
+    # --- Synchronous (BSP) path -----------------------------------------
+    # Push: all workers send simultaneously; each PS ingress carries
+    # num_workers shards.  Worker egress carries the whole gradient.
+    push_ps_limited = config.num_workers * shard_bytes / ps_nic
+    push_worker_limited = grad_bytes / worker_nic
+    push_time = max(push_ps_limited, push_worker_limited) + latency
+    # Pull is symmetric (parameter egress from servers).
+    pull_time = push_time
+    comm_sync = (push_time + pull_time) * (1.0 - BSP_OVERLAP)
+    barrier = latency * max(1.0, math.log2(max(2, config.num_workers)))
+    bsp_iter = max_comp + comm_sync + barrier
+    bsp_throughput = config.global_batch / bsp_iter
+
+    if config.sync_mode == "bsp":
+        bottleneck = "compute" if max_comp >= comm_sync else (
+            "ps-nic" if push_ps_limited >= push_worker_limited else "worker-nic"
+        )
+        return PerfEstimate(
+            iteration_time_s=bsp_iter,
+            throughput=bsp_throughput,
+            mean_staleness=0.0,
+            compute_time_s=max_comp,
+            comm_time_s=comm_sync + barrier,
+            bottleneck=bottleneck,
+        )
+
+    # --- Asynchronous (ASP) path ------------------------------------------
+    # Aggregate update rate is the min of three capacities (updates/sec):
+    solo_comm = 2.0 * (shard_bytes * config.num_ps / worker_nic + latency)
+    compute_rate = sum(1.0 / (t + solo_comm * (1.0 - BSP_OVERLAP)) for t in comp_times)
+    worker_nic_rate = sum(1.0 / (2.0 * grad_bytes / worker_nic) for _ in comp_times)
+    ps_nic_rate = ps_nic * config.num_ps / grad_bytes  # one direction each way
+    asp_rate = min(compute_rate, worker_nic_rate, ps_nic_rate)
+    asp_throughput = asp_rate * config.batch_per_worker
+    asp_staleness = max(0.0, config.num_workers - 1.0)
+
+    if config.sync_mode == "asp":
+        if asp_rate == compute_rate:
+            bottleneck = "compute"
+        elif asp_rate == ps_nic_rate:
+            bottleneck = "ps-nic"
+        else:
+            bottleneck = "worker-nic"
+        return PerfEstimate(
+            iteration_time_s=config.num_workers / asp_rate,
+            throughput=asp_throughput,
+            mean_staleness=asp_staleness,
+            compute_time_s=mean_comp,
+            comm_time_s=solo_comm,
+            bottleneck=bottleneck,
+        )
+
+    # --- SSP: interpolate between BSP (bound 0) and ASP (bound → ∞) -------
+    bound = config.staleness_bound
+    blend = bound / (bound + 2.0)  # 0 → BSP, large → ASP
+    ssp_throughput = bsp_throughput + (asp_throughput - bsp_throughput) * blend
+    ssp_staleness = min(asp_staleness, float(bound)) * blend if bound > 0 else 0.0
+    return PerfEstimate(
+        iteration_time_s=config.global_batch / ssp_throughput,
+        throughput=ssp_throughput,
+        mean_staleness=ssp_staleness,
+        compute_time_s=mean_comp,
+        comm_time_s=comm_sync,
+        bottleneck="mixed",
+    )
+
+
+def _estimate_allreduce(
+    config: TrainingConfig,
+    cluster: ClusterSpec,
+    grad_bytes: float,
+    max_comp: float,
+) -> PerfEstimate:
+    n = config.num_workers
+    node_specs = cluster.node_specs()
+    placement = place(cluster.total_nodes, 0, n, False)
+    ring_nic = min(node_specs[i].nic_bytes_per_sec for i in placement.worker_nodes)
+    latency = cluster.latency_s
+    if n == 1:
+        comm = 0.0
+    else:
+        steps = 2 * (n - 1)
+        comm = steps * (grad_bytes / n / ring_nic + latency)
+    comm_effective = comm * (1.0 - BSP_OVERLAP)
+    iter_time = max_comp + comm_effective
+    return PerfEstimate(
+        iteration_time_s=iter_time,
+        throughput=config.global_batch / iter_time,
+        mean_staleness=0.0,
+        compute_time_s=max_comp,
+        comm_time_s=comm_effective,
+        bottleneck="compute" if max_comp >= comm_effective else "ring",
+    )

@@ -1,0 +1,110 @@
+"""Input-pipeline model: data loading and decode as a training bottleneck.
+
+Distributed training jobs read serialized samples from storage, decode/
+augment them on CPU threads, and feed the accelerator through a prefetch
+buffer (the tf.data / DataLoader stage).  When the pipeline is starved the
+accelerator idles — a failure mode configuration tuners routinely find in
+practice, and two more knobs for the space:
+
+- ``io_threads``: CPU cores dedicated to the input pipeline.  They are
+  taken away from compute, creating a genuine trade-off.
+- ``prefetch_batches``: depth of the prefetch buffer.  With at least one
+  prefetched batch the pipeline overlaps compute; with zero, every
+  iteration serialises load→compute.
+
+Setting ``io_threads = 0`` (the default) disables the model entirely —
+the framework-managed pipeline is assumed never to be the bottleneck,
+which is the assumption the core experiments (T3/F1-F6) run under.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import NodeSpec
+from repro.workloads import DatasetSpec
+
+# Storage read throughput per node (local NVMe / striped object store
+# client): order-of-magnitude realistic for the paper's era.
+STORAGE_BYTES_PER_SEC = 500e6
+
+# Decode + augmentation throughput of one CPU core, in input bytes/sec.
+# JPEG decode alone reaches ~150 MB/s/core, but the full augmentation
+# chain (decode, random crop, resize, flip, normalise) lands nearer
+# 50-80 MB/s/core — the regime where GPU nodes starve without enough
+# input threads while slow CPU nodes never do.
+DECODE_BYTES_PER_CORE_PER_SEC = 60e6
+
+
+def input_rate_samples_per_sec(
+    node: NodeSpec, dataset: DatasetSpec, io_threads: int
+) -> float:
+    """Steady-state samples/second one worker's pipeline can supply.
+
+    The pipeline is the min of the storage read rate and the aggregate
+    decode rate of the dedicated cores.  ``io_threads = 0`` means the
+    pipeline is unmodelled: returns infinity.
+    """
+    if io_threads < 0:
+        raise ValueError("io_threads must be >= 0")
+    if io_threads == 0:
+        return float("inf")
+    storage_rate = STORAGE_BYTES_PER_SEC / dataset.bytes_per_sample
+    decode_rate = io_threads * DECODE_BYTES_PER_CORE_PER_SEC / dataset.bytes_per_sample
+    return min(storage_rate, decode_rate)
+
+
+def iteration_input_time(
+    node: NodeSpec, dataset: DatasetSpec, io_threads: int, batch: int
+) -> float:
+    """Seconds the pipeline needs to supply one minibatch."""
+    rate = input_rate_samples_per_sec(node, dataset, io_threads)
+    if rate == float("inf"):
+        return 0.0
+    return batch / rate
+
+
+def effective_iteration_time(
+    train_time: float,
+    input_time: float,
+    prefetch_batches: int,
+) -> float:
+    """Combine the training path with the input pipeline.
+
+    With prefetching the two stages form a two-stage pipeline whose steady
+    state is the max of the stage times; without it they serialise.
+    """
+    if prefetch_batches < 0:
+        raise ValueError("prefetch_batches must be >= 0")
+    if input_time <= 0.0:
+        return train_time
+    if prefetch_batches >= 1:
+        return max(train_time, input_time)
+    return train_time + input_time
+
+
+def compute_cores_available(node: NodeSpec, io_threads: int) -> int:
+    """Cores left for training math after the pipeline takes its share."""
+    if io_threads >= node.cores:
+        raise ValueError(
+            f"io_threads {io_threads} would starve compute on {node.cores}-core node"
+        )
+    return node.cores - io_threads
+
+
+def worker_iteration_base_seconds(
+    node, flops: float, config, dataset: DatasetSpec, overhead_s: float
+) -> float:
+    """Mean per-iteration time of one worker's local phase (compute+input).
+
+    Shared by the event-driven simulators so the pipeline semantics match
+    the analytic model exactly: ``node`` is a runtime
+    :class:`~repro.cluster.node.Node` (spec + speed factor).
+    """
+    available = compute_cores_available(node.spec, config.io_threads)
+    threads = config.intra_op_threads
+    if threads == 0 or threads > available:
+        threads = available
+    compute = node.compute_seconds(flops, threads) + overhead_s
+    input_time = iteration_input_time(
+        node.spec, dataset, config.io_threads, config.batch_per_worker
+    )
+    return effective_iteration_time(compute, input_time, config.prefetch_batches)

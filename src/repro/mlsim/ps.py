@@ -1,0 +1,254 @@
+"""Event-driven parameter-server training simulator.
+
+This is the reference fidelity mode: every worker is a simulation process
+that computes, pushes sharded gradients over the network fabric, and pulls
+fresh parameters, under BSP, ASP, or SSP coordination.  NIC contention,
+straggler tails, barrier waits, and staleness all emerge from the event
+timeline rather than from closed-form approximations.
+
+The analytic model (:mod:`repro.mlsim.perf`) is validated against this
+simulator in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cluster import Cluster, place
+from repro.mlsim.config import TrainingConfig
+from repro.mlsim.perf import ITERATION_OVERHEAD_S, check_feasible
+from repro.mlsim.pipeline import worker_iteration_base_seconds
+from repro.sim import RngRegistry, Signal, Simulator
+from repro.workloads import Workload
+
+
+@dataclass
+class TrainingTrace:
+    """What one simulated probe run observed.
+
+    ``iteration_times`` holds the completion timestamps of each global
+    iteration (BSP) or each individual update (ASP/SSP).  ``staleness``
+    holds the gradient staleness, in updates, of every push.
+    """
+
+    completion_times: List[float] = field(default_factory=list)
+    staleness: List[float] = field(default_factory=list)
+    samples_processed: float = 0.0
+    elapsed_s: float = 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Samples per simulated second over the probe window."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.samples_processed / self.elapsed_s
+
+    @property
+    def mean_staleness(self) -> float:
+        """Average staleness across all observed pushes."""
+        if not self.staleness:
+            return 0.0
+        return sum(self.staleness) / len(self.staleness)
+
+    def iteration_time_stats(self) -> tuple:
+        """(mean, p95) of inter-completion gaps."""
+        if len(self.completion_times) < 2:
+            return (0.0, 0.0)
+        gaps = [
+            b - a
+            for a, b in zip(self.completion_times, self.completion_times[1:])
+            if b >= a
+        ]
+        if not gaps:
+            return (0.0, 0.0)
+        gaps.sort()
+        mean = sum(gaps) / len(gaps)
+        p95 = gaps[min(len(gaps) - 1, int(math.ceil(0.95 * len(gaps))) - 1)]
+        return (mean, p95)
+
+
+class _Coordinator:
+    """Shared synchronisation state for all workers in one probe run.
+
+    Implements the SSP contract: a worker may start iteration ``t`` only if
+    the slowest *active* worker has finished iteration ``t - bound - 1``.
+    BSP is the special case ``bound = 0``; ASP uses an effectively infinite
+    bound.  Workers that exhaust the probe's global update budget *retire*:
+    they leave the minimum computation so they cannot deadlock peers that
+    still owe iterations.
+    """
+
+    def __init__(self, sim: Simulator, num_workers: int, bound: int) -> None:
+        self.sim = sim
+        self.num_workers = num_workers
+        self.bound = bound
+        self.worker_iteration = [0] * num_workers
+        self.active = [True] * num_workers
+        self.global_updates = 0
+        self._blocked: List[tuple] = []  # (needed_min_iter, signal)
+
+    def min_iteration(self) -> int:
+        active_iters = [
+            it for it, alive in zip(self.worker_iteration, self.active) if alive
+        ]
+        if not active_iters:
+            return max(self.worker_iteration, default=0)
+        return min(active_iters)
+
+    def may_start(self, rank: int) -> Optional[Signal]:
+        """None if the worker may proceed, else a signal to wait on."""
+        if self.worker_iteration[rank] <= self.min_iteration() + self.bound:
+            return None
+        signal = Signal(self.sim)
+        needed = self.worker_iteration[rank] - self.bound
+        self._blocked.append((needed, signal))
+        return signal
+
+    def _wake_unblocked(self) -> None:
+        current_min = self.min_iteration()
+        still_blocked = []
+        for needed, signal in self._blocked:
+            if current_min >= needed:
+                signal.complete(self.sim.now)
+            else:
+                still_blocked.append((needed, signal))
+        self._blocked = still_blocked
+
+    def finished_iteration(self, rank: int) -> None:
+        """Record completion and wake any workers the new minimum unblocks."""
+        self.worker_iteration[rank] += 1
+        self.global_updates += 1
+        self._wake_unblocked()
+
+    def retire(self, rank: int) -> None:
+        """Remove a finished worker from the synchronisation frontier."""
+        self.active[rank] = False
+        self._wake_unblocked()
+
+
+def _worker_process(
+    sim: Simulator,
+    cluster: Cluster,
+    config: TrainingConfig,
+    workload: Workload,
+    coordinator: _Coordinator,
+    trace: TrainingTrace,
+    rank: int,
+    worker_node: int,
+    ps_nodes: List[int],
+    total_updates: int,
+    rng,
+):
+    """One worker replica's probe-run lifecycle (generator process).
+
+    The probe measures steady-state throughput: workers keep iterating
+    until the *global* update budget is spent, so fast workers lap slow
+    ones under ASP/SSP exactly as they would in a real cluster, and the
+    elapsed window is not dominated by a straggler finishing a fixed quota.
+    """
+    node = cluster.node(worker_node)
+    flops = workload.model.flops_per_sample * config.batch_per_worker
+    grad_bytes = workload.model.param_bytes * config.gradient_bytes_factor
+    shard_bytes = grad_bytes / len(ps_nodes)
+    jitter_cv = cluster.spec.jitter_cv
+    cost_cv = workload.dataset.sample_cost_cv
+
+    last_pull_updates = 0
+    while coordinator.global_updates < total_updates:
+        gate = coordinator.may_start(rank)
+        if gate is not None:
+            yield gate
+            if coordinator.global_updates >= total_updates:
+                break
+
+        # Compute phase (incl. input pipeline): deterministic base time
+        # times stochastic jitter.
+        base = worker_iteration_base_seconds(
+            node, flops, config, workload.dataset, ITERATION_OVERHEAD_S
+        )
+        sigma = math.sqrt(jitter_cv**2 + (cost_cv**2) / max(1, config.batch_per_worker))
+        factor = float(rng.lognormal(mean=0.0, sigma=sigma)) if sigma > 0 else 1.0
+        yield sim.timeout(base * factor)
+
+        # Push phase: one flow per shard, in parallel.
+        pushes = [
+            cluster.fabric.transfer(worker_node, ps_node, shard_bytes)
+            for ps_node in ps_nodes
+        ]
+        yield sim.all_of(pushes)
+        if coordinator.bound == 0:
+            # BSP aggregates all gradients of a round against one snapshot:
+            # same-round peer updates are not staleness.
+            trace.staleness.append(0.0)
+        else:
+            trace.staleness.append(
+                float(coordinator.global_updates - last_pull_updates)
+            )
+        coordinator.finished_iteration(rank)
+
+        # Pull phase: fetch fresh parameters from every shard.
+        pulls = [
+            cluster.fabric.transfer(ps_node, worker_node, shard_bytes)
+            for ps_node in ps_nodes
+        ]
+        yield sim.all_of(pulls)
+        last_pull_updates = coordinator.global_updates
+
+        trace.completion_times.append(sim.now)
+        trace.samples_processed += config.batch_per_worker
+    coordinator.retire(rank)
+
+
+def run_ps_probe(
+    cluster: Cluster,
+    config: TrainingConfig,
+    workload: Workload,
+    num_iterations: int,
+    rng: RngRegistry,
+) -> TrainingTrace:
+    """Simulate a probe of ``num_iterations * num_workers`` global updates
+    under the PS architecture.
+
+    Returns the :class:`TrainingTrace` of the run.  The caller is expected
+    to have validated feasibility (see :func:`repro.mlsim.perf.check_feasible`).
+    """
+    if not config.uses_ps:
+        raise ValueError("run_ps_probe requires a PS-architecture config")
+    check_feasible(config, workload, cluster.spec)
+
+    sim = cluster.sim
+    placement = place(
+        len(cluster), config.num_ps, config.num_workers, config.colocate_ps
+    )
+    coordinator = _Coordinator(sim, config.num_workers, config.effective_staleness_bound)
+    trace = TrainingTrace()
+    total_updates = num_iterations * config.num_workers
+
+    started = sim.now
+    processes = []
+    for rank, node_id in enumerate(placement.worker_nodes):
+        processes.append(
+            sim.spawn(
+                _worker_process(
+                    sim,
+                    cluster,
+                    config,
+                    workload,
+                    coordinator,
+                    trace,
+                    rank,
+                    node_id,
+                    list(placement.ps_nodes),
+                    total_updates,
+                    rng.stream(f"worker.{rank}"),
+                ),
+                name=f"worker-{rank}",
+            )
+        )
+    sim.run()
+    trace.elapsed_s = sim.now - started
+    if any(p.alive for p in processes):
+        raise RuntimeError("probe ended with live worker processes (deadlock?)")
+    return trace

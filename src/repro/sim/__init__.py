@@ -1,0 +1,34 @@
+"""Deterministic discrete-event simulation kernel.
+
+This subpackage is the substrate for the cluster and distributed-training
+simulators.  It provides a generator-based process model, counted resources,
+FIFO channels, and reproducible named RNG streams.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import (
+    AllOf,
+    Process,
+    Signal,
+    SimulationError,
+    Simulator,
+    Timeout,
+    Waitable,
+)
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "Event",
+    "EventQueue",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "Waitable",
+]

@@ -1,0 +1,101 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel (:mod:`repro.sim.kernel`) schedules :class:`Event` objects on a
+binary-heap :class:`EventQueue`.  Events carry a simulated timestamp, a
+monotonically increasing sequence number (to break timestamp ties
+deterministically), and a callback to invoke when the event fires.
+
+Determinism is a hard requirement for this project: two runs of the same
+simulation with the same seeds must produce bit-identical traces, because the
+benchmark harness compares tuners on the exact same response surface.  The
+(time, seq) ordering guarantees a total order on events regardless of heap
+internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback in simulated time.
+
+    Events are ordered by ``(time, seq)``.  The callback and payload do not
+    participate in ordering.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    payload: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the kernel skips it when popped.
+
+        Cancellation is O(1); the event is lazily discarded when it reaches
+        the head of the queue.
+        """
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback with its payload."""
+        self.callback(*self.payload)
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects.
+
+    Ties on ``time`` are broken by insertion order, which makes simulation
+    traces reproducible across runs and platforms.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        payload: tuple = (),
+    ) -> Event:
+        """Schedule ``callback(*payload)`` at simulated ``time``.
+
+        Returns the :class:`Event`, which the caller may ``cancel()``.
+        """
+        if time != time:  # NaN guard: a NaN timestamp would corrupt the heap
+            raise ValueError("event time must not be NaN")
+        event = Event(time=time, seq=next(self._counter), callback=callback, payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or None."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the timestamp of the earliest pending event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()

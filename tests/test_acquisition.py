@@ -1,0 +1,117 @@
+"""Tests (incl. property-based) for acquisition functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    expected_improvement,
+    expected_improvement_per_cost,
+    get_acquisition,
+    probability_of_improvement,
+    upper_confidence_bound,
+)
+
+
+class TestExpectedImprovement:
+    def test_non_negative(self):
+        mu = np.array([-5.0, 0.0, 5.0])
+        sigma = np.array([1.0, 1.0, 1.0])
+        assert np.all(expected_improvement(mu, sigma, incumbent=0.0) >= 0)
+
+    def test_increases_with_mean(self):
+        sigma = np.ones(3)
+        ei = expected_improvement(np.array([0.0, 1.0, 2.0]), sigma, incumbent=0.5)
+        assert ei[0] < ei[1] < ei[2]
+
+    def test_increases_with_uncertainty_below_incumbent(self):
+        mu = np.zeros(3)
+        ei = expected_improvement(mu, np.array([0.1, 1.0, 5.0]), incumbent=1.0)
+        assert ei[0] < ei[1] < ei[2]
+
+    def test_zero_when_certain_and_worse(self):
+        ei = expected_improvement(np.array([0.0]), np.array([1e-12]), incumbent=10.0)
+        assert ei[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_equals_gap_when_certain_and_better(self):
+        ei = expected_improvement(np.array([3.0]), np.array([1e-12]), incumbent=1.0)
+        assert ei[0] == pytest.approx(2.0, abs=1e-6)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            expected_improvement(np.zeros(3), np.zeros(2), 0.0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            expected_improvement(np.zeros(1), np.array([-1.0]), 0.0)
+
+    @given(
+        st.floats(min_value=-10, max_value=10),
+        st.floats(min_value=1e-6, max_value=10),
+        st.floats(min_value=-10, max_value=10),
+    )
+    @settings(max_examples=100)
+    def test_always_finite_and_nonnegative(self, mu, sigma, incumbent):
+        ei = expected_improvement(np.array([mu]), np.array([sigma]), incumbent)
+        assert np.isfinite(ei[0])
+        assert ei[0] >= -1e-12
+
+
+class TestProbabilityOfImprovement:
+    def test_in_unit_interval(self):
+        mu = np.linspace(-5, 5, 11)
+        sigma = np.ones(11)
+        pi = probability_of_improvement(mu, sigma, incumbent=0.0)
+        assert np.all((pi >= 0) & (pi <= 1))
+
+    def test_half_at_incumbent(self):
+        pi = probability_of_improvement(np.array([2.0]), np.array([1.0]), incumbent=2.0)
+        assert pi[0] == pytest.approx(0.5)
+
+
+class TestUpperConfidenceBound:
+    def test_formula(self):
+        ucb = upper_confidence_bound(np.array([1.0]), np.array([2.0]), beta=3.0)
+        assert ucb[0] == pytest.approx(7.0)
+
+    def test_beta_zero_is_mean(self):
+        mu = np.array([1.0, 2.0])
+        ucb = upper_confidence_bound(mu, np.ones(2), beta=0.0)
+        assert np.allclose(ucb, mu)
+
+    def test_negative_beta_rejected(self):
+        with pytest.raises(ValueError):
+            upper_confidence_bound(np.zeros(1), np.ones(1), beta=-1.0)
+
+
+class TestEiPerCost:
+    def test_divides_by_cost(self):
+        mu = np.array([1.0, 1.0])
+        sigma = np.array([1.0, 1.0])
+        cost = np.array([1.0, 4.0])
+        scores = expected_improvement_per_cost(mu, sigma, 0.0, cost)
+        assert scores[0] == pytest.approx(4 * scores[1])
+
+    def test_non_positive_cost_rejected(self):
+        with pytest.raises(ValueError):
+            expected_improvement_per_cost(
+                np.zeros(1), np.ones(1), 0.0, np.array([0.0])
+            )
+
+    def test_prefers_cheap_among_equals(self):
+        mu = np.array([2.0, 2.0])
+        sigma = np.array([0.5, 0.5])
+        cost = np.array([10.0, 1.0])
+        scores = expected_improvement_per_cost(mu, sigma, 1.0, cost)
+        assert scores[1] > scores[0]
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_acquisition("ei") is expected_improvement
+        assert get_acquisition("ucb") is upper_confidence_bound
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="choose from"):
+            get_acquisition("thompson")

@@ -1,0 +1,201 @@
+"""Tests for the Bayesian-optimisation proposal engine."""
+
+import numpy as np
+import pytest
+
+from repro.configspace import ConfigSpace, FloatParameter, IntParameter
+from repro.core import TrialHistory
+from repro.core.bo import BayesianProposer
+from repro.mlsim import Measurement, TrainingConfig
+
+
+def toy_space():
+    return ConfigSpace([FloatParameter("x", 0.0, 1.0), FloatParameter("y", 0.0, 1.0)])
+
+
+def toy_objective(config):
+    """Smooth unimodal surface with optimum at (0.7, 0.3)."""
+    return -((config["x"] - 0.7) ** 2) - (config["y"] - 0.3) ** 2
+
+
+def record(history, config, objective, ok=True, cost=10.0):
+    measurement = Measurement(
+        config=TrainingConfig(),
+        ok=ok,
+        fidelity="analytic",
+        objective=objective if ok else None,
+        probe_cost_s=cost,
+    )
+    history.record(config, measurement)
+
+
+class TestInitialDesign:
+    def test_first_proposals_come_from_design(self):
+        space = toy_space()
+        proposer = BayesianProposer(space, n_initial=5, seed=0)
+        rng = np.random.default_rng(0)
+        history = TrialHistory()
+        points = []
+        for _ in range(5):
+            config = proposer.propose(history, rng)
+            points.append(config)
+            record(history, config, toy_objective(config))
+        # Latin hypercube: x values stratified across [0, 1].
+        xs = sorted(p["x"] for p in points)
+        assert xs[0] < 0.3 and xs[-1] > 0.7
+
+    def test_design_is_deterministic_per_seed(self):
+        space = toy_space()
+        a = BayesianProposer(space, n_initial=4, seed=9)
+        b = BayesianProposer(space, n_initial=4, seed=9)
+        rng1, rng2 = np.random.default_rng(0), np.random.default_rng(0)
+        assert a.propose(TrialHistory(), rng1) == b.propose(TrialHistory(), rng2)
+
+
+class TestModelBasedProposals:
+    def test_concentrates_near_optimum(self):
+        """After enough observations, proposals cluster near the optimum."""
+        space = toy_space()
+        proposer = BayesianProposer(space, n_initial=6, n_candidates=256, seed=1)
+        rng = np.random.default_rng(1)
+        history = TrialHistory()
+        for _ in range(18):
+            config = proposer.propose(history, rng)
+            record(history, config, toy_objective(config))
+        late = history.trials[-4:]
+        distances = [
+            ((t.config["x"] - 0.7) ** 2 + (t.config["y"] - 0.3) ** 2) ** 0.5
+            for t in late
+        ]
+        assert min(distances) < 0.2
+
+    def test_beats_random_search_on_toy_surface(self):
+        space = toy_space()
+        rng = np.random.default_rng(2)
+        proposer = BayesianProposer(space, n_initial=5, n_candidates=256, seed=2)
+        bo_history = TrialHistory()
+        for _ in range(15):
+            config = proposer.propose(bo_history, rng)
+            record(bo_history, config, toy_objective(config))
+
+        random_history = TrialHistory()
+        random_rng = np.random.default_rng(2)
+        for _ in range(15):
+            config = space.sample(random_rng)
+            record(random_history, config, toy_objective(config))
+
+        assert bo_history.best_objective() >= random_history.best_objective()
+
+    def test_failed_trials_are_avoided(self):
+        """A failing half-space should be proposed into less and less."""
+        space = toy_space()
+        proposer = BayesianProposer(space, n_initial=6, n_candidates=256, seed=3)
+        rng = np.random.default_rng(3)
+        history = TrialHistory()
+        for _ in range(20):
+            config = proposer.propose(history, rng)
+            ok = config["x"] < 0.5  # right half crashes
+            record(history, config, toy_objective(config) if ok else None, ok=ok)
+        late_failures = sum(1 for t in history.trials[-6:] if not t.ok)
+        assert late_failures <= 3
+
+    def test_proposals_respect_constraints(self):
+        space = ConfigSpace(
+            [IntParameter("a", 1, 10), IntParameter("b", 1, 10)],
+            constraints={"sum": lambda c: c["a"] + c["b"] <= 10},
+        )
+        proposer = BayesianProposer(space, n_initial=4, n_candidates=64, seed=4)
+        rng = np.random.default_rng(4)
+        history = TrialHistory()
+        for _ in range(10):
+            config = proposer.propose(history, rng)
+            assert space.is_valid(config)
+            record(history, config, float(-abs(config["a"] - 7)))
+
+    def test_all_failures_falls_back_to_sampling(self):
+        space = toy_space()
+        proposer = BayesianProposer(space, n_initial=3, seed=5)
+        rng = np.random.default_rng(5)
+        history = TrialHistory()
+        for _ in range(6):
+            config = proposer.propose(history, rng)
+            record(history, config, None, ok=False)
+        config = proposer.propose(history, rng)
+        assert space.is_valid(config)
+
+    def test_diagnostics_populated_after_model_fit(self):
+        space = toy_space()
+        proposer = BayesianProposer(space, n_initial=3, n_candidates=64, seed=6)
+        rng = np.random.default_rng(6)
+        history = TrialHistory()
+        for _ in range(5):
+            config = proposer.propose(history, rng)
+            record(history, config, toy_objective(config))
+        assert "incumbent" in proposer.last_fit_diagnostics
+        assert "acquisition_value" in proposer.last_fit_diagnostics
+
+
+class TestCostAware:
+    def test_eipc_prefers_cheaper_region_when_ei_ties(self):
+        """With a strong cost gradient, eipc shifts proposals cheap-ward."""
+        space = toy_space()
+        rng = np.random.default_rng(7)
+
+        def run(acquisition):
+            proposer = BayesianProposer(
+                space, acquisition=acquisition, n_initial=6, n_candidates=128, seed=7
+            )
+            history = TrialHistory()
+            inner_rng = np.random.default_rng(7)
+            for _ in range(14):
+                config = proposer.propose(history, inner_rng)
+                # Flat objective, cost grows steeply with x.
+                record(history, config, 1.0 + 0.01 * config["y"],
+                       cost=1.0 + 100.0 * config["x"])
+            return history
+
+        eipc = run("eipc")
+        mean_x = np.mean([t.config["x"] for t in eipc.trials[6:]])
+        assert mean_x < 0.6  # pulled toward the cheap region
+
+    def test_validation(self):
+        space = toy_space()
+        with pytest.raises(ValueError):
+            BayesianProposer(space, n_initial=1)
+        with pytest.raises(ValueError):
+            BayesianProposer(space, n_candidates=2)
+        with pytest.raises(KeyError):
+            BayesianProposer(space, acquisition="nope")
+
+
+class TestLogObjectiveOption:
+    def test_log_transform_activates_for_positive_objectives(self):
+        space = toy_space()
+        proposer = BayesianProposer(
+            space, n_initial=3, n_candidates=64, log_objective="auto", seed=0
+        )
+        rng = np.random.default_rng(0)
+        history = TrialHistory()
+        for _ in range(6):
+            config = proposer.propose(history, rng)
+            record(history, config, 10.0 + config["x"])  # strictly positive
+        assert proposer._log_active
+
+    def test_log_transform_skipped_for_negative_objectives(self):
+        space = toy_space()
+        proposer = BayesianProposer(
+            space, n_initial=3, n_candidates=64, log_objective="auto", seed=0
+        )
+        rng = np.random.default_rng(0)
+        history = TrialHistory()
+        for _ in range(6):
+            config = proposer.propose(history, rng)
+            record(history, config, toy_objective(config))  # negative values
+        assert not proposer._log_active
+
+    def test_never_is_default_and_off(self):
+        space = toy_space()
+        proposer = BayesianProposer(space, n_initial=3, n_candidates=64, seed=0)
+        assert proposer.log_objective == "never"
+        with pytest.raises(ValueError):
+            BayesianProposer(space, log_objective="sometimes")

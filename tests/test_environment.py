@@ -1,0 +1,149 @@
+"""Tests for the TrainingEnvironment probe interface."""
+
+import pytest
+
+from repro.cluster import homogeneous
+from repro.mlsim import (
+    STARTUP_OVERHEAD_S,
+    TrainingConfig,
+    TrainingEnvironment,
+)
+from repro.workloads import get_workload
+
+WORKLOAD = get_workload("resnet50-imagenet")
+GOOD = TrainingConfig(num_workers=6, num_ps=2, batch_per_worker=32)
+BAD = TrainingConfig(num_workers=20, num_ps=4)  # does not fit 8 nodes
+
+
+def make_env(**kwargs):
+    kwargs.setdefault("seed", 0)
+    return TrainingEnvironment(WORKLOAD, homogeneous(8), **kwargs)
+
+
+class TestValidation:
+    def test_bad_fidelity(self):
+        with pytest.raises(ValueError, match="fidelity"):
+            make_env(fidelity="quantum")
+
+    def test_bad_objective(self):
+        with pytest.raises(ValueError, match="objective_name"):
+            make_env(objective_name="latency")
+
+    def test_bad_probe_iterations(self):
+        with pytest.raises(ValueError):
+            make_env(probe_iterations=1)
+        env = make_env()
+        with pytest.raises(ValueError):
+            env.measure(GOOD, probe_iterations=1)
+
+
+class TestMeasurement:
+    def test_successful_probe(self):
+        m = make_env().measure(GOOD)
+        assert m.ok
+        assert m.throughput > 0
+        assert m.objective == m.throughput
+        assert m.probe_cost_s > STARTUP_OVERHEAD_S
+        assert m.tta_s > 0
+
+    def test_failed_probe_is_not_an_exception(self):
+        m = make_env().measure(BAD)
+        assert not m.ok
+        assert m.objective is None
+        assert "placement" in m.error or "nodes" in m.error
+        assert m.probe_cost_s == STARTUP_OVERHEAD_S
+
+    def test_noise_differs_across_trials(self):
+        env = make_env(noise_cv=0.05)
+        a = env.measure(GOOD)
+        b = env.measure(GOOD)
+        assert a.throughput != b.throughput
+
+    def test_same_trial_index_same_noise(self):
+        a = make_env(noise_cv=0.05).measure(GOOD)
+        b = make_env(noise_cv=0.05).measure(GOOD)
+        assert a.throughput == b.throughput
+
+    def test_zero_noise_is_deterministic(self):
+        env = make_env(noise_cv=0.0)
+        assert env.measure(GOOD).throughput == env.measure(GOOD).throughput
+
+    def test_cost_accounting_accumulates(self):
+        env = make_env()
+        m1 = env.measure(GOOD)
+        m2 = env.measure(BAD)
+        assert env.total_probe_cost_s == pytest.approx(
+            m1.probe_cost_s + m2.probe_cost_s
+        )
+        assert env.trials_run == 2
+
+    def test_shorter_probe_costs_less(self):
+        env = make_env(noise_cv=0.0)
+        full = env.measure(GOOD)
+        short = env.measure(GOOD, probe_iterations=5)
+        assert short.probe_cost_s < full.probe_cost_s
+
+    def test_shorter_probe_is_noisier_in_expectation(self):
+        """Noise sigma scales with 1/sqrt(iterations)."""
+        import numpy as np
+
+        deviations_full, deviations_short = [], []
+        for seed in range(12):
+            env = make_env(seed=seed, noise_cv=0.05)
+            truth = env.true_objective(GOOD)
+            deviations_full.append(abs(env.measure(GOOD).throughput - truth) / truth)
+            env_s = make_env(seed=seed, noise_cv=0.05)
+            deviations_short.append(
+                abs(env_s.measure(GOOD, probe_iterations=3).throughput - truth) / truth
+            )
+        assert np.mean(deviations_short) > np.mean(deviations_full)
+
+    def test_continuation_skips_startup(self):
+        env = make_env(noise_cv=0.0)
+        charged = env.measure(GOOD)
+        continued = env.measure(GOOD, charge_startup=False)
+        assert continued.probe_cost_s == pytest.approx(
+            charged.probe_cost_s - STARTUP_OVERHEAD_S
+        )
+
+
+class TestObjectives:
+    def test_tta_objective_is_negative(self):
+        env = make_env(objective_name="tta")
+        m = env.measure(GOOD)
+        assert m.objective == pytest.approx(-m.tta_s)
+
+    def test_tta_consistent_with_convergence_model(self):
+        """TTA = startup + iterations-to-target × global_batch / throughput."""
+        from repro.mlsim import STARTUP_OVERHEAD_S
+
+        env = make_env(objective_name="tta", noise_cv=0.0)
+        m = env.measure(GOOD)
+        iters = WORKLOAD.model.convergence.iterations_to_target(
+            GOOD.global_batch, m.mean_staleness
+        )
+        expected = STARTUP_OVERHEAD_S + iters * GOOD.global_batch / m.throughput
+        assert m.tta_s == pytest.approx(expected, rel=1e-9)
+
+    def test_true_objective_infeasible_is_none(self):
+        assert make_env().true_objective(BAD) is None
+
+    def test_true_objective_has_no_noise(self):
+        env = make_env(noise_cv=0.5)
+        assert env.true_objective(GOOD) == env.true_objective(GOOD)
+
+
+class TestFidelityConsistency:
+    def test_event_and_analytic_agree_roughly(self):
+        analytic = make_env(fidelity="analytic", noise_cv=0.0).measure(GOOD)
+        event = make_env(fidelity="event", noise_cv=0.0).measure(GOOD)
+        ratio = event.throughput / analytic.throughput
+        assert 0.6 < ratio < 1.7
+
+    def test_describe(self):
+        env = make_env()
+        env.measure(GOOD)
+        info = env.describe()
+        assert info["workload"] == WORKLOAD.name
+        assert info["nodes"] == 8
+        assert info["trials_run"] == 1

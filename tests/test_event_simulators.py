@@ -1,0 +1,186 @@
+"""Tests for the event-driven PS and all-reduce training simulators,
+including cross-validation against the analytic model."""
+
+import pytest
+
+from repro.cluster import Cluster, homogeneous
+from repro.mlsim import (
+    TrainingConfig,
+    estimate,
+    run_allreduce_probe,
+    run_ps_probe,
+)
+from repro.sim import RngRegistry, Simulator
+from repro.workloads import get_workload
+
+RESNET = get_workload("resnet50-imagenet")
+W2V = get_workload("word2vec-wiki")
+
+
+def run_probe(config, workload, nodes=16, iterations=20, seed=0, **cluster_kwargs):
+    cluster_kwargs.setdefault("jitter_cv", 0.0)
+    spec = homogeneous(nodes, **cluster_kwargs)
+    sim = Simulator()
+    cluster = Cluster(sim, spec, RngRegistry(seed))
+    rng = RngRegistry(seed).fork(1)
+    if config.uses_ps:
+        return run_ps_probe(cluster, config, workload, iterations, rng)
+    return run_allreduce_probe(cluster, config, workload, iterations, rng)
+
+
+class TestPsProbe:
+    def test_bsp_processes_expected_samples(self):
+        """Lockstep BSP spends the global update budget exactly."""
+        config = TrainingConfig(num_workers=4, num_ps=2, batch_per_worker=32)
+        trace = run_probe(config, RESNET, iterations=10)
+        assert trace.samples_processed == 10 * 4 * 32
+        assert len(trace.completion_times) == 40
+
+    def test_bsp_staleness_is_zero(self):
+        config = TrainingConfig(num_workers=4, num_ps=2, sync_mode="bsp",
+                                batch_per_worker=32)
+        trace = run_probe(config, RESNET, iterations=10)
+        assert trace.mean_staleness == pytest.approx(0.0)
+
+    def test_asp_staleness_positive_with_stragglers(self):
+        config = TrainingConfig(
+            num_workers=8, num_ps=2, sync_mode="asp", batch_per_worker=256
+        )
+        trace = run_probe(
+            config, W2V, iterations=15,
+            straggler_fraction=0.25, straggler_slowdown=0.4,
+        )
+        assert trace.mean_staleness > 0.5
+
+    def test_asp_throughput_beats_bsp_under_stragglers(self):
+        """Compute-bound workload: ASP lets fast workers lap the straggler."""
+        kwargs = dict(
+            iterations=15, straggler_fraction=0.25, straggler_slowdown=0.3
+        )
+        bsp = run_probe(
+            TrainingConfig(num_workers=8, num_ps=4, sync_mode="bsp",
+                           batch_per_worker=32, gradient_precision="fp16"),
+            RESNET, **kwargs,
+        )
+        asp = run_probe(
+            TrainingConfig(num_workers=8, num_ps=4, sync_mode="asp",
+                           batch_per_worker=32, gradient_precision="fp16"),
+            RESNET, **kwargs,
+        )
+        assert asp.throughput > bsp.throughput
+
+    def test_ssp_bounds_worker_spread(self):
+        """Under SSP, no worker may lead the slowest by more than the bound."""
+        config = TrainingConfig(
+            num_workers=4, num_ps=2, sync_mode="ssp", staleness_bound=2,
+            batch_per_worker=256,
+        )
+        trace = run_probe(
+            config, W2V, iterations=20,
+            straggler_fraction=0.25, straggler_slowdown=0.3,
+        )
+        # The global budget may overshoot by at most one in-flight iteration
+        # per worker.
+        budget = 20 * 4
+        updates = len(trace.completion_times)
+        assert budget <= updates <= budget + 4
+
+    def test_deterministic_given_seed(self):
+        config = TrainingConfig(num_workers=4, num_ps=2, batch_per_worker=32)
+        a = run_probe(config, RESNET, iterations=8, seed=5)
+        b = run_probe(config, RESNET, iterations=8, seed=5)
+        assert a.elapsed_s == b.elapsed_s
+        assert a.completion_times == b.completion_times
+
+    def test_different_seeds_differ(self):
+        config = TrainingConfig(num_workers=4, num_ps=2, batch_per_worker=32)
+        a = run_probe(config, RESNET, iterations=8, seed=5, jitter_cv=0.05)
+        b = run_probe(config, RESNET, iterations=8, seed=6, jitter_cv=0.05)
+        assert a.elapsed_s != b.elapsed_s
+
+    def test_rejects_allreduce_config(self):
+        config = TrainingConfig(architecture="allreduce", num_workers=4)
+        spec = homogeneous(8)
+        cluster = Cluster(Simulator(), spec, RngRegistry(0))
+        with pytest.raises(ValueError, match="PS-architecture"):
+            run_ps_probe(cluster, config, RESNET, 5, RngRegistry(0))
+
+
+class TestAllReduceProbe:
+    def test_processes_expected_samples(self):
+        config = TrainingConfig(
+            architecture="allreduce", num_workers=8, batch_per_worker=32
+        )
+        trace = run_probe(config, RESNET, iterations=10)
+        assert trace.samples_processed == 10 * 8 * 32
+        assert trace.mean_staleness == 0.0
+
+    def test_single_worker_works(self):
+        config = TrainingConfig(
+            architecture="allreduce", num_workers=1, batch_per_worker=32
+        )
+        trace = run_probe(config, RESNET, iterations=5)
+        assert trace.samples_processed == 5 * 32
+
+    def test_rejects_ps_config(self):
+        config = TrainingConfig(architecture="ps", num_workers=4, num_ps=2)
+        spec = homogeneous(8)
+        cluster = Cluster(Simulator(), spec, RngRegistry(0))
+        with pytest.raises(ValueError, match="all-reduce"):
+            run_allreduce_probe(cluster, config, RESNET, 5, RngRegistry(0))
+
+    def test_straggler_stalls_whole_ring(self):
+        clean = run_probe(
+            TrainingConfig(architecture="allreduce", num_workers=8,
+                           batch_per_worker=32),
+            RESNET, iterations=10,
+        )
+        straggled = run_probe(
+            TrainingConfig(architecture="allreduce", num_workers=8,
+                           batch_per_worker=32),
+            RESNET, iterations=10,
+            straggler_fraction=0.15, straggler_slowdown=0.4,
+        )
+        assert straggled.throughput < 0.7 * clean.throughput
+
+
+class TestAnalyticCrossValidation:
+    """The closed-form model must track the event simulator where its
+    assumptions hold (no jitter, BSP or all-reduce)."""
+
+    @pytest.mark.parametrize(
+        "config,workload",
+        [
+            (TrainingConfig(num_workers=8, num_ps=4, batch_per_worker=32), RESNET),
+            (TrainingConfig(num_workers=4, num_ps=2, batch_per_worker=64), RESNET),
+            (TrainingConfig(num_workers=8, num_ps=4, batch_per_worker=256), W2V),
+            (
+                TrainingConfig(
+                    architecture="allreduce", num_workers=8, batch_per_worker=32
+                ),
+                RESNET,
+            ),
+        ],
+    )
+    def test_within_tolerance(self, config, workload):
+        spec = homogeneous(16, jitter_cv=0.0)
+        analytic = estimate(config, workload, spec)
+        trace = run_probe(config, workload, iterations=20)
+        ratio = trace.throughput / analytic.throughput
+        assert 0.6 < ratio < 1.7, (
+            f"event {trace.throughput:.1f} vs analytic {analytic.throughput:.1f}"
+        )
+
+    def test_relative_ordering_preserved(self):
+        """The analytic model must rank configurations like the simulator."""
+        spec = homogeneous(16, jitter_cv=0.0)
+        configs = [
+            TrainingConfig(num_workers=2, num_ps=1, batch_per_worker=32),
+            TrainingConfig(num_workers=8, num_ps=4, batch_per_worker=32),
+            TrainingConfig(num_workers=12, num_ps=4, batch_per_worker=64),
+        ]
+        analytic = [estimate(c, RESNET, spec).throughput for c in configs]
+        event = [run_probe(c, RESNET, iterations=15).throughput for c in configs]
+        assert sorted(range(3), key=lambda i: analytic[i]) == sorted(
+            range(3), key=lambda i: event[i]
+        )

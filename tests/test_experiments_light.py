@@ -1,0 +1,64 @@
+"""Smoke tests for the cheap experiment functions and table rendering.
+
+The heavy sweeps (T3, F2-F5, A1-A3) are exercised by the benchmark suite;
+here we verify the light experiments produce well-formed tables fast.
+"""
+
+import pytest
+
+from repro.harness.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentTable,
+    clear_experiment_cache,
+    exp_t1_config_space,
+    exp_t2_workloads,
+)
+
+
+class TestLightExperiments:
+    def test_t1_table_structure(self):
+        table = exp_t1_config_space(nodes=8)
+        assert table.exp_id == "T1"
+        rendered = table.render()
+        assert "num_workers" in rendered
+        assert "TOTAL" in rendered
+        # One row per knob + total.
+        assert len(table.rows) == 10
+
+    def test_t1_scales_with_nodes(self):
+        small = exp_t1_config_space(nodes=4)
+        large = exp_t1_config_space(nodes=32)
+        def total(table):
+            return table.rows[-1][-1]
+        assert total(large) > total(small)
+
+    def test_t2_covers_suite(self):
+        from repro.workloads import SUITE
+
+        table = exp_t2_workloads()
+        assert len(table.rows) == len(SUITE)
+        names = {row[0] for row in table.rows}
+        assert names == set(SUITE)
+
+    def test_registry_contains_all_ids(self):
+        expected = {
+            "T1", "T2", "T3",
+            "F1", "F2", "F3", "F4", "F5", "F6",
+            "A1", "A2", "A3",
+            "E1", "E2", "V1",
+        }
+        assert set(ALL_EXPERIMENTS) == expected
+
+    def test_render_includes_notes(self):
+        table = ExperimentTable(
+            exp_id="X0",
+            title="demo",
+            headers=["a"],
+            rows=[[1]],
+            notes="remember this",
+        )
+        assert "remember this" in table.render()
+        assert "[X0]" in table.render()
+
+    def test_cache_clears(self):
+        clear_experiment_cache()  # must not raise

@@ -1,0 +1,152 @@
+"""Tests (incl. property-based) for kernels and Gaussian-process regression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GPFitError, GaussianProcess, Matern52, RBF, make_kernel
+
+
+class TestKernels:
+    @pytest.mark.parametrize("kernel_cls", [RBF, Matern52])
+    def test_self_covariance_is_variance(self, kernel_cls):
+        kernel = kernel_cls(3, variance=2.5)
+        x = np.random.default_rng(0).random((5, 3))
+        cov = kernel(x, x)
+        assert np.allclose(np.diag(cov), 2.5)
+
+    @pytest.mark.parametrize("kernel_cls", [RBF, Matern52])
+    def test_symmetry(self, kernel_cls):
+        kernel = kernel_cls(2)
+        x = np.random.default_rng(1).random((6, 2))
+        cov = kernel(x, x)
+        assert np.allclose(cov, cov.T)
+
+    @pytest.mark.parametrize("kernel_cls", [RBF, Matern52])
+    def test_positive_semidefinite(self, kernel_cls):
+        kernel = kernel_cls(4)
+        x = np.random.default_rng(2).random((10, 4))
+        eigenvalues = np.linalg.eigvalsh(kernel(x, x))
+        assert eigenvalues.min() > -1e-8
+
+    @pytest.mark.parametrize("kernel_cls", [RBF, Matern52])
+    def test_covariance_decays_with_distance(self, kernel_cls):
+        kernel = kernel_cls(1)
+        near = kernel(np.array([[0.0]]), np.array([[0.1]]))[0, 0]
+        far = kernel(np.array([[0.0]]), np.array([[0.9]]))[0, 0]
+        assert near > far
+
+    def test_log_param_roundtrip(self):
+        kernel = Matern52(3, variance=1.7)
+        kernel.lengthscales = np.array([0.2, 0.5, 1.2])
+        params = kernel.get_log_params()
+        other = Matern52(3)
+        other.set_log_params(params)
+        assert other.variance == pytest.approx(1.7)
+        assert np.allclose(other.lengthscales, [0.2, 0.5, 1.2])
+
+    def test_set_log_params_shape_checked(self):
+        kernel = Matern52(3)
+        with pytest.raises(ValueError):
+            kernel.set_log_params(np.zeros(2))
+
+    def test_make_kernel(self):
+        assert isinstance(make_kernel("rbf", 2), RBF)
+        assert isinstance(make_kernel("matern52", 2), Matern52)
+        with pytest.raises(KeyError):
+            make_kernel("periodic", 2)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Matern52(0)
+        with pytest.raises(ValueError):
+            RBF(2, variance=-1.0)
+
+
+class TestGaussianProcess:
+    def _data(self, n=20, dim=2, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.random((n, dim))
+        y = np.sin(3 * x[:, 0]) + 0.5 * x[:, 1]
+        return x, y
+
+    def test_interpolates_training_points(self):
+        x, y = self._data()
+        gp = GaussianProcess(noise_variance=1e-6, fit_noise=False, restarts=1).fit(x, y)
+        mean, _ = gp.predict(x)
+        assert np.allclose(mean, y, atol=0.05)
+
+    def test_variance_small_at_data_large_far_away(self):
+        x, y = self._data()
+        gp = GaussianProcess(restarts=1).fit(x, y)
+        _, var_at_data = gp.predict(x[:1])
+        _, var_far = gp.predict(np.array([[10.0, 10.0]]))
+        assert var_far[0] > 5 * var_at_data[0]
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(GPFitError):
+            GaussianProcess().predict(np.zeros((1, 2)))
+
+    def test_mismatched_shapes_rejected(self):
+        gp = GaussianProcess()
+        with pytest.raises(ValueError):
+            gp.fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_non_finite_data_rejected(self):
+        gp = GaussianProcess()
+        x = np.zeros((3, 2))
+        y = np.array([1.0, np.nan, 2.0])
+        with pytest.raises(GPFitError):
+            gp.fit(x, y)
+
+    def test_hyperparameter_fit_improves_lml(self):
+        x, y = self._data(n=25)
+        unfit = GaussianProcess(restarts=0)
+        unfit.fit(x, y, optimize_hypers=False)
+        before = unfit.log_marginal_likelihood()
+        fit = GaussianProcess(restarts=2)
+        fit.fit(x, y, optimize_hypers=True)
+        after = fit.log_marginal_likelihood()
+        assert after >= before - 1e-6
+
+    def test_constant_targets_handled(self):
+        x = np.random.default_rng(0).random((6, 2))
+        y = np.full(6, 3.0)
+        gp = GaussianProcess(restarts=1).fit(x, y)
+        mean, _ = gp.predict(np.array([[0.5, 0.5]]))
+        assert mean[0] == pytest.approx(3.0, abs=0.1)
+
+    def test_single_observation(self):
+        gp = GaussianProcess(restarts=0).fit(np.array([[0.5]]), np.array([2.0]))
+        mean, _ = gp.predict(np.array([[0.5]]))
+        assert mean[0] == pytest.approx(2.0, abs=0.2)
+
+    def test_prediction_in_original_units(self):
+        """Standardisation must be invisible to the caller."""
+        x, y = self._data()
+        y_scaled = y * 1000 + 5000
+        gp = GaussianProcess(restarts=1).fit(x, y_scaled)
+        mean, _ = gp.predict(x)
+        assert np.corrcoef(mean, y_scaled)[0, 1] > 0.99
+
+    def test_num_observations(self):
+        x, y = self._data(n=7)
+        gp = GaussianProcess(restarts=0)
+        assert gp.num_observations == 0
+        gp.fit(x, y, optimize_hypers=False)
+        assert gp.num_observations == 7
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_posterior_mean_bounded_by_data_for_smooth_fits(self, seed):
+        """Posterior mean at interior points stays within a sane envelope."""
+        rng = np.random.default_rng(seed)
+        x = rng.random((12, 2))
+        y = rng.random(12)
+        gp = GaussianProcess(restarts=0).fit(x, y, optimize_hypers=False)
+        mean, var = gp.predict(rng.random((5, 2)))
+        spread = y.max() - y.min() + 1e-9
+        assert np.all(mean > y.min() - 3 * spread)
+        assert np.all(mean < y.max() + 3 * spread)
+        assert np.all(var >= 0)

@@ -1,0 +1,199 @@
+"""Tests for harness metrics, optimum estimation, comparisons, and tables."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomSearch
+from repro.cluster import homogeneous
+from repro.configspace import ml_config_space, to_training_config
+from repro.core import MLConfigTuner, TrialHistory, TuningBudget, TuningResult
+from repro.harness import (
+    clear_optimum_cache,
+    compare_strategies,
+    estimate_optimum,
+    metrics,
+    render_series,
+    render_table,
+    to_csv,
+)
+from repro.mlsim import Measurement, TrainingConfig, TrainingEnvironment
+from repro.workloads import get_workload
+
+WORKLOAD = get_workload("resnet50-imagenet")
+
+
+def synthetic_result(objectives, costs=None):
+    history = TrialHistory()
+    costs = costs or [10.0] * len(objectives)
+    for objective, cost in zip(objectives, costs):
+        ok = objective is not None
+        history.record(
+            {"i": len(history)},
+            Measurement(
+                config=TrainingConfig(),
+                ok=ok,
+                fidelity="analytic",
+                objective=objective,
+                probe_cost_s=cost,
+            ),
+        )
+    return TuningResult(
+        strategy="synthetic", history=history, best_trial=history.best(), environment={}
+    )
+
+
+class TestNormalization:
+    def test_positive_objective(self):
+        assert metrics.normalize_objective(80.0, 100.0) == pytest.approx(0.8)
+        assert metrics.normalize_objective(100.0, 100.0) == pytest.approx(1.0)
+
+    def test_negative_objective_tta(self):
+        # optimum = -100 s, found = -125 s: normalized 0.8.
+        assert metrics.normalize_objective(-125.0, -100.0) == pytest.approx(0.8)
+        assert metrics.normalize_objective(-100.0, -100.0) == pytest.approx(1.0)
+
+    def test_none_maps_to_zero(self):
+        assert metrics.normalize_objective(None, 100.0) == 0.0
+
+    def test_zero_optimum_rejected(self):
+        with pytest.raises(ValueError):
+            metrics.normalize_objective(1.0, 0.0)
+
+
+class TestSearchCostMetrics:
+    def test_trials_to_within(self):
+        result = synthetic_result([50.0, 80.0, 96.0, 99.0])
+        assert metrics.trials_to_within(result, 100.0, 0.05) == 3
+        assert metrics.trials_to_within(result, 100.0, 0.01) == 4
+
+    def test_unreached_threshold_is_none(self):
+        result = synthetic_result([50.0, 60.0])
+        assert metrics.trials_to_within(result, 100.0, 0.05) is None
+        assert metrics.cost_to_within(result, 100.0, 0.05) is None
+
+    def test_cost_to_within(self):
+        result = synthetic_result([50.0, 96.0], costs=[10.0, 30.0])
+        assert metrics.cost_to_within(result, 100.0, 0.05) == pytest.approx(40.0)
+
+    def test_fraction_validation(self):
+        result = synthetic_result([1.0])
+        with pytest.raises(ValueError):
+            metrics.trials_to_within(result, 1.0, 1.5)
+
+    def test_failed_trials_skipped_in_best_so_far(self):
+        result = synthetic_result([None, 90.0, None, 95.0])
+        curve = metrics.normalized_best_so_far(result, 100.0)
+        assert curve == pytest.approx([0.0, 0.9, 0.9, 0.95])
+
+
+class TestMeanCurve:
+    def test_pointwise_mean(self):
+        assert metrics.mean_curve([[1.0, 2.0], [3.0, 4.0]]) == [2.0, 3.0]
+
+    def test_short_curves_padded_with_last_value(self):
+        assert metrics.mean_curve([[1.0], [3.0, 5.0]]) == [2.0, 3.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            metrics.mean_curve([])
+        with pytest.raises(ValueError):
+            metrics.mean_curve([[]])
+
+
+class TestSpeedup:
+    def test_throughput_speedup(self):
+        assert metrics.speedup(300.0, 100.0) == pytest.approx(3.0)
+
+    def test_tta_speedup(self):
+        assert metrics.speedup(-100.0, -300.0) == pytest.approx(3.0)
+
+
+class TestEstimateOptimum:
+    def test_optimum_dominates_random_search(self):
+        clear_optimum_cache()
+        cluster = homogeneous(8)
+        env = TrainingEnvironment(WORKLOAD, cluster, seed=0)
+        space = ml_config_space(8)
+        _, optimum = estimate_optimum(env, space, samples=400, seed=0)
+        random = RandomSearch().run(
+            TrainingEnvironment(WORKLOAD, cluster, seed=0, noise_cv=0.0),
+            space,
+            TuningBudget(max_trials=30),
+            seed=1,
+        )
+        assert optimum >= random.best_objective * 0.999
+
+    def test_cached_between_calls(self):
+        clear_optimum_cache()
+        cluster = homogeneous(8)
+        env = TrainingEnvironment(WORKLOAD, cluster, seed=0)
+        space = ml_config_space(8)
+        first = estimate_optimum(env, space, samples=200, seed=0)
+        second = estimate_optimum(env, space, samples=200, seed=0)
+        assert first == second
+
+    def test_optimum_config_is_feasible(self):
+        clear_optimum_cache()
+        cluster = homogeneous(8)
+        env = TrainingEnvironment(WORKLOAD, cluster, seed=0)
+        space = ml_config_space(8)
+        config, value = estimate_optimum(env, space, samples=200, seed=0)
+        assert env.true_objective(to_training_config(config)) == pytest.approx(value)
+
+
+class TestCompareStrategies:
+    def test_structure_and_ranking(self):
+        comparison = compare_strategies(
+            {
+                "random": lambda seed: RandomSearch(),
+                "bo": lambda seed: MLConfigTuner(seed=seed, n_initial=4),
+            },
+            WORKLOAD,
+            homogeneous(8),
+            TuningBudget(max_trials=10),
+            repeats=2,
+            seed=0,
+        )
+        assert set(comparison.outcomes) == {"random", "bo"}
+        for outcome in comparison.outcomes.values():
+            assert len(outcome.results) == 2
+            assert len(outcome.mean_curve) >= 10
+            assert 0 < outcome.mean_normalized_best <= 1.05
+        assert comparison.ranking()[0] in {"random", "bo"}
+
+    def test_repeats_validation(self):
+        with pytest.raises(ValueError):
+            compare_strategies(
+                {"r": lambda seed: RandomSearch()},
+                WORKLOAD,
+                homogeneous(8),
+                TuningBudget(max_trials=2),
+                repeats=0,
+            )
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [None, "x"]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert lines[0].startswith("a")
+        assert "—" in lines[3]  # None renders as an em dash
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_render_series(self):
+        text = render_series("x", [1, 2], {"s1": [0.1, 0.2], "s2": [0.3, 0.4]})
+        assert "s1" in text and "s2" in text
+
+    def test_series_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_series("x", [1, 2], {"s": [0.1]})
+
+    def test_csv_roundtrip(self):
+        csv_text = to_csv(["a", "b"], [[1, None], ["x", 2.5]])
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,"

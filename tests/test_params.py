@@ -1,0 +1,157 @@
+"""Tests (incl. property-based) for typed parameters and encodings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.configspace import (
+    BoolParameter,
+    CategoricalParameter,
+    FloatParameter,
+    IntParameter,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestIntParameter:
+    def test_encode_bounds(self):
+        param = IntParameter("n", 1, 9)
+        assert param.encode(1) == [0.0]
+        assert param.encode(9) == [1.0]
+        assert param.encode(5) == [0.5]
+
+    def test_out_of_range_rejected(self):
+        param = IntParameter("n", 1, 9)
+        with pytest.raises(ValueError):
+            param.encode(0)
+        with pytest.raises(ValueError):
+            param.encode(10)
+
+    def test_decode_clamps(self):
+        param = IntParameter("n", 1, 9)
+        assert param.decode([-0.5]) == 1
+        assert param.decode([1.5]) == 9
+
+    def test_log_scale_midpoint_is_geometric(self):
+        param = IntParameter("b", 1, 256, log=True)
+        assert param.decode([0.5]) == 16  # sqrt(1 * 256)
+
+    def test_log_requires_positive_low(self):
+        with pytest.raises(ValueError):
+            IntParameter("b", 0, 256, log=True)
+
+    def test_degenerate_range(self):
+        param = IntParameter("n", 4, 4)
+        assert param.encode(4) == [0.0]
+        assert param.decode([0.7]) == 4
+        assert param.grid(5) == [4]
+
+    def test_grid_spans_range(self):
+        param = IntParameter("n", 1, 100)
+        grid = param.grid(5)
+        assert grid[0] == 1
+        assert grid[-1] == 100
+        assert grid == sorted(grid)
+
+    def test_neighbors_stay_in_range(self):
+        param = IntParameter("n", 1, 10)
+        for value in (1, 5, 10):
+            for neighbor in param.neighbors(value, RNG):
+                assert 1 <= neighbor <= 10
+                assert neighbor != value
+
+    @given(st.integers(min_value=1, max_value=512))
+    @settings(max_examples=60)
+    def test_roundtrip_linear(self, value):
+        param = IntParameter("n", 1, 512)
+        assert param.decode(param.encode(value)) == value
+
+    @given(st.integers(min_value=1, max_value=512))
+    @settings(max_examples=60)
+    def test_roundtrip_log(self, value):
+        param = IntParameter("n", 1, 512, log=True)
+        assert param.decode(param.encode(value)) == value
+
+
+class TestFloatParameter:
+    def test_roundtrip(self):
+        param = FloatParameter("x", 0.1, 10.0)
+        for value in (0.1, 1.0, 5.5, 10.0):
+            assert param.decode(param.encode(value)) == pytest.approx(value)
+
+    def test_log_roundtrip(self):
+        param = FloatParameter("x", 0.01, 100.0, log=True)
+        for value in (0.01, 1.0, 100.0):
+            assert param.decode(param.encode(value)) == pytest.approx(value)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            FloatParameter("x", 5.0, 5.0)
+        with pytest.raises(ValueError):
+            FloatParameter("x", -1.0, 1.0, log=True)
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    @settings(max_examples=60)
+    def test_decode_always_in_range(self, coord):
+        param = FloatParameter("x", 2.0, 7.0)
+        assert 2.0 <= param.decode([coord]) <= 7.0
+
+    def test_cardinality_infinite(self):
+        assert FloatParameter("x", 0.0, 1.0).cardinality() == float("inf")
+
+
+class TestCategoricalParameter:
+    def test_one_hot_encoding(self):
+        param = CategoricalParameter("mode", ["a", "b", "c"])
+        assert param.dims == 3
+        assert param.encode("b") == [0.0, 1.0, 0.0]
+
+    def test_decode_argmax(self):
+        param = CategoricalParameter("mode", ["a", "b", "c"])
+        assert param.decode([0.1, 0.9, 0.3]) == "b"
+
+    def test_roundtrip_all_choices(self):
+        param = CategoricalParameter("mode", ["bsp", "asp", "ssp"])
+        for choice in param.choices:
+            assert param.decode(param.encode(choice)) == choice
+
+    def test_unknown_choice_rejected(self):
+        param = CategoricalParameter("mode", ["a", "b"])
+        with pytest.raises(ValueError):
+            param.encode("z")
+
+    def test_wrong_coord_length_rejected(self):
+        param = CategoricalParameter("mode", ["a", "b"])
+        with pytest.raises(ValueError):
+            param.decode([1.0])
+
+    def test_needs_two_distinct_choices(self):
+        with pytest.raises(ValueError):
+            CategoricalParameter("mode", ["only"])
+        with pytest.raises(ValueError):
+            CategoricalParameter("mode", ["a", "a"])
+
+    def test_neighbors_are_other_choices(self):
+        param = CategoricalParameter("mode", ["a", "b", "c"])
+        assert sorted(param.neighbors("a", RNG)) == ["b", "c"]
+
+
+class TestBoolParameter:
+    def test_roundtrip(self):
+        param = BoolParameter("flag")
+        assert param.decode(param.encode(True)) is True
+        assert param.decode(param.encode(False)) is False
+
+    def test_threshold(self):
+        param = BoolParameter("flag")
+        assert param.decode([0.49]) is False
+        assert param.decode([0.51]) is True
+
+    def test_neighbors_flip(self):
+        param = BoolParameter("flag")
+        assert param.neighbors(True, RNG) == [False]
+
+    def test_grid(self):
+        assert BoolParameter("flag").grid(10) == [False, True]

@@ -1,0 +1,187 @@
+"""Tests for stopping rules and constant-liar batch proposals."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomSearch
+from repro.cluster import homogeneous
+from repro.configspace import ConfigSpace, FloatParameter, ml_config_space
+from repro.core import MLConfigTuner, TrialHistory, TuningBudget
+from repro.core.bo import BayesianProposer
+from repro.core.parallel import propose_batch, run_parallel_round
+from repro.core.stopping import (
+    CostCapRule,
+    FailureStreakRule,
+    PlateauRule,
+    StoppedStrategy,
+    TargetRule,
+)
+from repro.mlsim import Measurement, TrainingConfig, TrainingEnvironment
+from repro.workloads import get_workload
+
+
+def make_history(objectives, cost=10.0):
+    history = TrialHistory()
+    for objective in objectives:
+        ok = objective is not None
+        history.record(
+            {"x": 0.5},
+            Measurement(
+                config=TrainingConfig(),
+                ok=ok,
+                fidelity="analytic",
+                objective=objective,
+                probe_cost_s=cost,
+            ),
+        )
+    return history
+
+
+class TestPlateauRule:
+    def test_fires_after_stall(self):
+        rule = PlateauRule(patience=3, min_relative_gain=0.01)
+        stalled = make_history([10.0, 10.0, 10.0, 10.0, 10.0])
+        assert rule.should_stop(stalled)
+
+    def test_does_not_fire_while_improving(self):
+        rule = PlateauRule(patience=3, min_relative_gain=0.01)
+        improving = make_history([10.0, 11.0, 12.5, 14.0, 16.0])
+        assert not rule.should_stop(improving)
+
+    def test_small_gains_do_not_reset(self):
+        rule = PlateauRule(patience=3, min_relative_gain=0.05)
+        barely = make_history([10.0, 10.01, 10.02, 10.03, 10.04])
+        assert rule.should_stop(barely)
+
+    def test_needs_enough_trials(self):
+        rule = PlateauRule(patience=10)
+        assert not rule.should_stop(make_history([1.0, 1.0]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlateauRule(patience=0)
+        with pytest.raises(ValueError):
+            PlateauRule(min_relative_gain=-0.1)
+
+
+class TestOtherRules:
+    def test_target_rule(self):
+        rule = TargetRule(target=100.0)
+        assert not rule.should_stop(make_history([50.0]))
+        assert rule.should_stop(make_history([50.0, 120.0]))
+
+    def test_cost_cap_rule(self):
+        rule = CostCapRule(max_cost_s=25.0)
+        assert not rule.should_stop(make_history([1.0, 1.0], cost=10.0))
+        assert rule.should_stop(make_history([1.0, 1.0, 1.0], cost=10.0))
+
+    def test_failure_streak_rule(self):
+        rule = FailureStreakRule(streak=3)
+        assert not rule.should_stop(make_history([None, None, 1.0]))
+        assert rule.should_stop(make_history([1.0, None, None, None]))
+
+    def test_reasons_are_informative(self):
+        assert "trials" in PlateauRule(patience=4).reason()
+        assert "cap" in CostCapRule(10.0).reason()
+
+
+class TestStoppedStrategy:
+    def test_plateau_ends_session_early(self):
+        env = TrainingEnvironment(
+            get_workload("resnet50-imagenet"), homogeneous(8), seed=0
+        )
+        strategy = StoppedStrategy(
+            RandomSearch(), [PlateauRule(patience=5, min_relative_gain=0.02)]
+        )
+        result = strategy.run(
+            env, ml_config_space(8), TuningBudget(max_trials=60), seed=0
+        )
+        assert result.num_trials < 60
+        assert strategy.stop_reason is not None
+
+    def test_wraps_bo_tuner(self):
+        env = TrainingEnvironment(
+            get_workload("resnet50-imagenet"), homogeneous(8), seed=0
+        )
+        strategy = StoppedStrategy(MLConfigTuner(seed=0), [CostCapRule(2000.0)])
+        result = strategy.run(
+            env, ml_config_space(8), TuningBudget(max_trials=40), seed=0
+        )
+        assert result.history.total_cost_s >= 2000.0 or result.num_trials == 40
+        assert "stop" in strategy.name
+
+    def test_needs_rules(self):
+        with pytest.raises(ValueError):
+            StoppedStrategy(RandomSearch(), [])
+
+
+class TestConstantLiar:
+    def _setup(self):
+        space = ConfigSpace(
+            [FloatParameter("x", 0.0, 1.0), FloatParameter("y", 0.0, 1.0)]
+        )
+        proposer = BayesianProposer(space, n_initial=4, n_candidates=128, seed=0)
+        history = TrialHistory()
+        rng = np.random.default_rng(0)
+        for _ in range(8):
+            config = space.sample(rng)
+            history.record(
+                config,
+                Measurement(
+                    config=TrainingConfig(),
+                    ok=True,
+                    fidelity="analytic",
+                    objective=-((config["x"] - 0.7) ** 2) - (config["y"] - 0.3) ** 2,
+                    probe_cost_s=1.0,
+                ),
+            )
+        return space, proposer, history
+
+    def test_batch_size_and_validity(self):
+        space, proposer, history = self._setup()
+        rng = np.random.default_rng(1)
+        batch = propose_batch(proposer, history, rng, batch_size=4)
+        assert len(batch) == 4
+        for config in batch:
+            assert space.is_valid(config)
+
+    def test_batch_is_diverse(self):
+        space, proposer, history = self._setup()
+        rng = np.random.default_rng(1)
+        batch = propose_batch(proposer, history, rng, batch_size=4)
+        points = np.array([[c["x"], c["y"]] for c in batch])
+        # Pairwise distances must not all be ~0 (no near-duplicate batch).
+        dists = [
+            np.linalg.norm(points[i] - points[j])
+            for i in range(4)
+            for j in range(i + 1, 4)
+        ]
+        assert max(dists) > 0.05
+
+    def test_fantasies_do_not_leak_into_history(self):
+        space, proposer, history = self._setup()
+        before = len(history)
+        propose_batch(proposer, history, np.random.default_rng(2), batch_size=3)
+        assert len(history) == before
+
+    def test_run_parallel_round_records_real_results(self):
+        env = TrainingEnvironment(
+            get_workload("resnet50-imagenet"), homogeneous(8), seed=0
+        )
+        space = ml_config_space(8)
+        proposer = BayesianProposer(space, n_initial=4, n_candidates=128, seed=0)
+        history = TrialHistory()
+        rng = np.random.default_rng(0)
+        trials = run_parallel_round(proposer, env, space, history, rng, batch_size=3)
+        assert len(trials) == 3
+        assert len(history) == 3
+        assert all(t.measurement.fidelity == "analytic" for t in trials)
+
+    def test_validation(self):
+        space, proposer, history = self._setup()
+        with pytest.raises(ValueError):
+            propose_batch(proposer, history, np.random.default_rng(0), batch_size=0)
+        with pytest.raises(ValueError):
+            propose_batch(
+                proposer, history, np.random.default_rng(0), batch_size=2, lie="huge"
+            )
