@@ -1,0 +1,51 @@
+"""P1 — wall-clock speedup of K-way parallel probing.
+
+The table runs the BO tuner under serial and parallel executors on one
+trial budget and reports both cost axes (machine hours vs wall-clock
+hours).  The timed kernel is one constant-liar batch proposal — the
+per-round overhead a ParallelExecutor adds on top of probing.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.configspace import ml_config_space
+from repro.core import TrialHistory
+from repro.core.bo import BayesianProposer
+from repro.core.parallel import propose_batch
+from repro.harness.experiments import exp_p1_parallel_speedup
+from repro.mlsim import Measurement, TrainingConfig
+
+
+def bench_p1_parallel(benchmark):
+    table = emit(
+        exp_p1_parallel_speedup(
+            nodes=16, budget_trials=30, seed=0, worker_counts=(1, 2, 4)
+        )
+    )
+    assert "wall-clock hours" in table
+
+    # Timed kernel: one 4-point constant-liar batch on a 20-trial history.
+    space = ml_config_space(16)
+    rng = np.random.default_rng(0)
+    history = TrialHistory()
+    for _ in range(20):
+        config = space.sample(rng)
+        history.record(
+            config,
+            Measurement(
+                config=TrainingConfig(),
+                ok=True,
+                fidelity="analytic",
+                objective=float(rng.random() * 100),
+                probe_cost_s=60.0,
+            ),
+        )
+    proposer = BayesianProposer(space, n_initial=8, n_candidates=128, seed=0)
+
+    def kernel():
+        return propose_batch(proposer, history, np.random.default_rng(1), batch_size=4)
+
+    batch = benchmark(kernel)
+    assert len(batch) == 4
+    assert all(space.is_valid(config) for config in batch)

@@ -19,16 +19,43 @@ Quickstart::
     result = MLConfigTuner().run(env, ml_config_space(16), TuningBudget(max_trials=40))
     print(result.best_config)
 
+Parallel tuning
+---------------
+
+Every strategy runs inside a :class:`~repro.core.session.TuningSession`
+whose executor decides how probes execute.  The default
+``SerialExecutor`` probes one configuration at a time;
+``ParallelExecutor(workers=K)`` probes K per round (the BO tuner
+diversifies each batch with constant-liar fantasisation) and accounts
+machine cost for every probe but wall-clock only for the slowest probe of
+each round::
+
+    from repro.core import ParallelExecutor
+
+    result = MLConfigTuner().run(
+        env, ml_config_space(16), TuningBudget(max_trials=40),
+        executor=ParallelExecutor(workers=4),
+    )
+    print(result.total_cost_s, result.total_wall_clock_s)
+
+The CLI exposes the same axis: ``python -m repro tune --workers 4`` probes
+four configurations per round, and ``--trial-log PATH`` streams every
+trial as JSON lines for offline analysis.  The ``P1`` experiment
+(``python -m repro experiment --id P1``) tabulates the wall-clock speedup.
+
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
 from repro.core import (
     MLConfigTuner,
+    ParallelExecutor,
     SearchStrategy,
+    SerialExecutor,
     TrialHistory,
     TuningBudget,
     TuningResult,
+    TuningSession,
 )
 from repro.mlsim import TrainingConfig, TrainingEnvironment
 
@@ -36,11 +63,14 @@ __version__ = "0.1.0"
 
 __all__ = [
     "MLConfigTuner",
+    "ParallelExecutor",
     "SearchStrategy",
+    "SerialExecutor",
     "TrainingConfig",
     "TrainingEnvironment",
     "TrialHistory",
     "TuningBudget",
     "TuningResult",
+    "TuningSession",
     "__version__",
 ]

@@ -9,12 +9,13 @@ the ablations isolate.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.configspace import ConfigDict, ConfigSpace
 from repro.core.bo import BayesianProposer
+from repro.core.parallel import propose_batch as constant_liar_batch
 from repro.core.strategy import SearchStrategy
 from repro.core.trial import TrialHistory
 
@@ -42,9 +43,11 @@ class CherryPick(SearchStrategy):
         self._proposer: Optional[BayesianProposer] = None
         self._stopped = False
 
-    def propose(
-        self, history: TrialHistory, space: ConfigSpace, rng: np.random.Generator
-    ) -> ConfigDict:
+    def reset(self) -> None:
+        self._proposer = None
+        self._stopped = False
+
+    def _ensure_proposer(self, space: ConfigSpace) -> BayesianProposer:
         if self._proposer is None or self._proposer.space is not space:
             self._proposer = BayesianProposer(
                 space,
@@ -53,9 +56,31 @@ class CherryPick(SearchStrategy):
                 n_candidates=self.n_candidates,
                 seed=self.seed,
             )
-        config = self._proposer.propose(history, rng)
+        return self._proposer
+
+    def propose(
+        self, history: TrialHistory, space: ConfigSpace, rng: np.random.Generator
+    ) -> ConfigDict:
+        config = self._ensure_proposer(space).propose(history, rng)
         self._maybe_stop(history)
         return config
+
+    def propose_batch(
+        self,
+        history: TrialHistory,
+        space: ConfigSpace,
+        rng: np.random.Generator,
+        k: int,
+    ) -> List[ConfigDict]:
+        """Constant-liar batch, same as the paper's tuner uses.
+
+        The EI-threshold stopping rule still applies: the check runs on
+        the last (fantasy-extended) fit, so a parallel session stops at
+        the same convergence signal a serial one would.
+        """
+        batch = constant_liar_batch(self._ensure_proposer(space), history, rng, k)
+        self._maybe_stop(history)
+        return batch
 
     def _maybe_stop(self, history: TrialHistory) -> None:
         if len(history) < self.min_trials:

@@ -32,6 +32,10 @@ class GridSearch(SearchStrategy):
         self._points: Optional[List[ConfigDict]] = None
         self._cursor = 0
 
+    def reset(self) -> None:
+        self._points = None
+        self._cursor = 0
+
     def _materialise(self, space: ConfigSpace) -> None:
         points = list(space.grid(self.resolution))
         if self.shuffle:
@@ -51,6 +55,29 @@ class GridSearch(SearchStrategy):
         point = self._points[self._cursor]
         self._cursor += 1
         return point
+
+    def propose_batch(
+        self,
+        history: TrialHistory,
+        space: ConfigSpace,
+        rng: np.random.Generator,
+        k: int,
+    ) -> List[ConfigDict]:
+        """Up to ``k`` remaining grid points.
+
+        Unlike the default hook, the batch never pads past the end of the
+        grid with random samples — the round just comes back short and the
+        session stops at exhaustion, matching serial semantics.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if self._points is None:
+            self._materialise(space)
+        batch = []
+        while len(batch) < k and self._cursor < len(self._points):
+            batch.append(self._points[self._cursor])
+            self._cursor += 1
+        return batch
 
     def finished(self, history: TrialHistory, space: ConfigSpace) -> bool:
         if self._points is None:

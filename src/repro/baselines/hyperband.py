@@ -66,6 +66,13 @@ class SuccessiveHalving(SearchStrategy):
         self._rung_population = 0
         self._next_probe_iterations = min_probe_iterations
 
+    def reset(self) -> None:
+        self._pending = []
+        self._rung_iterations = self.min_probe_iterations
+        self._rung_results = []
+        self._rung_population = 0
+        self._next_probe_iterations = self.min_probe_iterations
+
     def num_rungs(self) -> int:
         """Rungs per bracket at the configured size and eta."""
         return int(math.floor(math.log(self.bracket_size, self.eta))) + 1
@@ -101,6 +108,29 @@ class SuccessiveHalving(SearchStrategy):
                 self._start_bracket(space, rng)
         self._next_probe_iterations = self._rung_iterations
         return self._pending.pop(0)
+
+    def propose_batch(
+        self,
+        history: TrialHistory,
+        space: ConfigSpace,
+        rng: np.random.Generator,
+        k: int,
+    ) -> List[ConfigDict]:
+        """Up to ``k`` members of the *current* rung.
+
+        The default hook would call :meth:`propose` k times, which can
+        cross a rung boundary mid-batch: promotion would then run on
+        partial rung results and later members would be probed at the next
+        rung's fidelity.  Restricting a round to one rung keeps every
+        member at the same probe length; the round simply comes back short
+        at a rung boundary.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        batch = [self.propose(history, space, rng)]
+        while len(batch) < k and self._pending:
+            batch.append(self._pending.pop(0))
+        return batch
 
     def measure(self, env: TrainingEnvironment, config: ConfigDict) -> Measurement:
         iterations = max(2, min(self._next_probe_iterations, 4 * env.probe_iterations))

@@ -33,6 +33,11 @@ class HillClimbing(SearchStrategy):
         self._current_objective: Optional[float] = None
         self._stale = 0
 
+    def reset(self) -> None:
+        self._current = None
+        self._current_objective = None
+        self._stale = 0
+
     def propose(
         self, history: TrialHistory, space: ConfigSpace, rng: np.random.Generator
     ) -> ConfigDict:
@@ -85,6 +90,11 @@ class SimulatedAnnealing(SearchStrategy):
         self._current_objective: Optional[float] = None
         self._temp = initial_temp
 
+    def reset(self) -> None:
+        self._current = None
+        self._current_objective = None
+        self._temp = self.initial_temp
+
     def propose(
         self, history: TrialHistory, space: ConfigSpace, rng: np.random.Generator
     ) -> ConfigDict:
@@ -135,6 +145,12 @@ class CoordinateDescent(SearchStrategy):
         self._base: Optional[ConfigDict] = None
         self._base_objective: Optional[float] = None
         self._queue: List[ConfigDict] = []
+        self._param_index = 0
+
+    def reset(self) -> None:
+        self._base = None
+        self._base_objective = None
+        self._queue = []
         self._param_index = 0
 
     def _refill(self, space: ConfigSpace) -> None:

@@ -91,6 +91,11 @@ class OtterTuneStyle(SearchStrategy):
         self._landmarks: Optional[List[ConfigDict]] = None
         self.mapped_workload: Optional[str] = None
 
+    def reset(self) -> None:
+        """Clear per-session state; the cross-session repository is kept."""
+        self._landmarks = None
+        self.mapped_workload = None
+
     # -- landmark probing and mapping ------------------------------------
 
     def _landmark_set(self, space: ConfigSpace) -> List[ConfigDict]:

@@ -16,6 +16,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -72,6 +73,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--straggler-fraction", type=float, default=0.0,
         help="fraction of nodes that are persistent stragglers",
     )
+    tune.add_argument(
+        "--workers", type=int, default=1,
+        help="configurations probed per round (1 = serial probing)",
+    )
+    tune.add_argument(
+        "--trial-log", default=None, metavar="PATH",
+        help="write every trial as a JSON line to PATH",
+    )
 
     experiment = sub.add_parser("experiment", help="regenerate an evaluation artefact")
     experiment.add_argument("--id", required=True, help="experiment id, e.g. T3 or F2")
@@ -93,6 +102,16 @@ def _cmd_describe_space(nodes: int) -> int:
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.core.session import JsonlTrialLog, executor_for
+
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.trial_log:
+        log_dir = os.path.dirname(os.path.abspath(args.trial_log))
+        if not os.path.isdir(log_dir):
+            print(f"--trial-log: directory {log_dir!r} does not exist", file=sys.stderr)
+            return 2
     workload = get_workload(args.workload)
     cluster = homogeneous(
         args.nodes, straggler_fraction=args.straggler_fraction
@@ -106,8 +125,15 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     )
     space = ml_config_space(args.nodes)
     strategy = STRATEGIES[args.strategy](args.seed)
+    executor = executor_for(args.workers)
+    callbacks = [JsonlTrialLog(args.trial_log)] if args.trial_log else []
     result = strategy.run(
-        env, space, TuningBudget(max_trials=args.trials), seed=args.seed
+        env,
+        space,
+        TuningBudget(max_trials=args.trials),
+        seed=args.seed,
+        executor=executor,
+        callbacks=callbacks,
     )
     if result.best_trial is None:
         print("every probe failed — nothing to report", file=sys.stderr)
@@ -120,6 +146,11 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         print(f"best     : {-result.best_objective / 3600:.2f} hours to target accuracy")
     print(f"trials   : {result.num_trials} "
           f"({result.total_cost_s / 3600:.2f} simulated machine-hours probing)")
+    print(f"wall     : {result.total_wall_clock_s / 3600:.2f} simulated hours "
+          f"({args.workers} worker{'s' if args.workers != 1 else ''}, "
+          f"{result.history.num_rounds} rounds)")
+    if args.trial_log:
+        print(f"trial log: {args.trial_log}")
     print("configuration:")
     for knob, value in sorted(result.best_config.items()):
         print(f"  {knob:>20} = {value}")

@@ -38,6 +38,16 @@ class Parameter:
         """Typed value → unit-cube coordinates (length ``dims``)."""
         raise NotImplementedError
 
+    def encode_batch(self, values: Sequence[Any]) -> np.ndarray:
+        """Many typed values → a ``(len(values), dims)`` array.
+
+        Bit-identical to stacking :meth:`encode` results; subclasses
+        override with vectorised versions for the GP hot path.
+        """
+        return np.array([self.encode(v) for v in values], dtype=float).reshape(
+            len(values), self.dims
+        )
+
     def decode(self, coords: Sequence[float]) -> Any:
         """Unit-cube coordinates → nearest valid typed value."""
         raise NotImplementedError
@@ -60,6 +70,36 @@ class Parameter:
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"
+
+
+def _encode_numeric_batch(param, values) -> np.ndarray:
+    """Vectorised unit-cube encoding shared by int/float parameters.
+
+    Uses ``math.log`` per value (not ``np.log``) so results stay
+    bit-identical to the scalar ``encode`` path — vectorised libm variants
+    may differ in the last ulp, which would desynchronise surrogate
+    training data from grid/neighbour encodings.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size:
+        # Negated form so NaN (all comparisons False) is flagged, matching
+        # the scalar encode's `not low <= value <= high` check.
+        bad = ~((arr >= param.low) & (arr <= param.high))
+        if bad.any():
+            value = values[int(np.argmax(bad))]
+            raise ValueError(
+                f"{param.name}: {value} outside [{param.low}, {param.high}]"
+            )
+    if param.low == param.high:
+        return np.zeros((len(values), 1))
+    if param.log:
+        log_low = math.log(param.low)
+        span = math.log(param.high) - log_low
+        coords = np.array([math.log(v) for v in values], dtype=float)
+        coords = (coords - log_low) / span
+    else:
+        coords = (arr - param.low) / (param.high - param.low)
+    return coords.reshape(-1, 1)
 
 
 class IntParameter(Parameter):
@@ -91,6 +131,9 @@ class IntParameter(Parameter):
                 / (math.log(self.high) - math.log(self.low))
             ]
         return [(value - self.low) / (self.high - self.low)]
+
+    def encode_batch(self, values: Sequence[Any]) -> np.ndarray:
+        return _encode_numeric_batch(self, [int(v) for v in values])
 
     def decode(self, coords: Sequence[float]) -> int:
         x = min(1.0, max(0.0, float(coords[0])))
@@ -152,6 +195,9 @@ class FloatParameter(Parameter):
             ]
         return [(value - self.low) / (self.high - self.low)]
 
+    def encode_batch(self, values: Sequence[Any]) -> np.ndarray:
+        return _encode_numeric_batch(self, [float(v) for v in values])
+
     def decode(self, coords: Sequence[float]) -> float:
         x = min(1.0, max(0.0, float(coords[0])))
         if self.log:
@@ -197,6 +243,17 @@ class CategoricalParameter(Parameter):
         except ValueError:
             raise ValueError(f"{self.name}: {value!r} not in {self.choices}") from None
         return [1.0 if i == index else 0.0 for i in range(len(self.choices))]
+
+    def encode_batch(self, values: Sequence[Any]) -> np.ndarray:
+        out = np.zeros((len(values), len(self.choices)))
+        for row, value in enumerate(values):
+            try:
+                out[row, self.choices.index(value)] = 1.0
+            except ValueError:
+                raise ValueError(
+                    f"{self.name}: {value!r} not in {self.choices}"
+                ) from None
+        return out
 
     def decode(self, coords: Sequence[float]) -> Any:
         if len(coords) != len(self.choices):

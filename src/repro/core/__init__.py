@@ -13,6 +13,16 @@ from repro.core.gp import GaussianProcess, GPFitError
 from repro.core.importance import fit_surrogate, knob_importance, ranked_knobs
 from repro.core.kernels import KERNELS, Kernel, Matern52, RBF, make_kernel
 from repro.core.parallel import propose_batch, run_parallel_round
+from repro.core.session import (
+    Executor,
+    JsonlTrialLog,
+    ParallelExecutor,
+    ProgressLogger,
+    SerialExecutor,
+    SessionCallback,
+    TuningSession,
+    executor_for,
+)
 from repro.core.stopping import (
     CostCapRule,
     FailureStreakRule,
@@ -55,6 +65,14 @@ __all__ = [
     "StoppedStrategy",
     "StoppingRule",
     "TargetRule",
+    "Executor",
+    "JsonlTrialLog",
+    "ParallelExecutor",
+    "ProgressLogger",
+    "SerialExecutor",
+    "SessionCallback",
+    "TuningSession",
+    "executor_for",
     "propose_batch",
     "run_parallel_round",
 ]

@@ -123,14 +123,12 @@ class BayesianProposer:
             penalty = ys.min() - (ys.std() if len(ys) > 1 and ys.std() > 0 else abs(ys.min()) * 0.1 + 1.0)
         else:
             penalty = -1.0
-        rows, targets = [], []
-        for trial, value in zip(successes, ys):
-            rows.append(self.space.encode(trial.config))
-            targets.append(float(value))
-        for trial in failures:
-            rows.append(self.space.encode(trial.config))
-            targets.append(penalty)
-        return np.array(rows), np.array(targets)
+        trials = successes + failures
+        if not trials:
+            return np.array([]), np.array([])
+        rows = self.space.encode_batch([t.config for t in trials])
+        targets = [float(value) for value in ys] + [penalty] * len(failures)
+        return rows, np.array(targets)
 
     # -- proposal ------------------------------------------------------------
 
@@ -184,7 +182,6 @@ class BayesianProposer:
 
         incumbent = float(np.max(y))
         candidates = self._candidate_set(history, rng)
-        best_config, best_score = None, -np.inf
         scored = self._score(candidates, surrogate, incumbent, cost_model)
         order = int(np.argmax(scored))
         best_config, best_score = candidates[order], float(scored[order])
@@ -227,7 +224,7 @@ class BayesianProposer:
         incumbent: float,
         cost_model: Optional[GaussianProcess],
     ) -> np.ndarray:
-        x = np.array([self.space.encode(c) for c in candidates])
+        x = self.space.encode_batch(candidates)
         mu, var = surrogate.predict(x)
         sigma = np.sqrt(var)
         if self.acquisition_name == "ei":
@@ -248,7 +245,7 @@ class BayesianProposer:
         successes = history.successful()
         if len(successes) < 3:
             return None
-        x = np.array([self.space.encode(t.config) for t in successes])
+        x = self.space.encode_batch([t.config for t in successes])
         log_cost = np.log(
             np.array([max(1e-3, t.measurement.probe_cost_s) for t in successes])
         )

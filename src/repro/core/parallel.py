@@ -1,4 +1,4 @@
-"""Batch proposals for parallel probing (constant-liar fantasisation).
+"""Constant-liar batch proposals — the BO side of parallel probing.
 
 When a cluster has spare machines, a tuner can probe several
 configurations concurrently.  Naively asking the acquisition for its top-k
@@ -8,9 +8,21 @@ liar*: propose one point, pretend it returned the incumbent value (the
 because the fantasised observation kills the acquisition around each
 already-chosen point.
 
-This module provides :func:`propose_batch`, which wraps any
-:class:`~repro.core.bo.BayesianProposer` without modifying it, by feeding
-it a history extended with fantasy trials.
+This module is the proposal half of the session/executor architecture in
+:mod:`repro.core.session`.  The execution half lives there: a
+:class:`~repro.core.session.TuningSession` drives the budget/history loop
+and a :class:`~repro.core.session.ParallelExecutor` obtains each round's
+batch through :meth:`SearchStrategy.propose_batch` — which
+:class:`~repro.core.tuner.MLConfigTuner` (and the CherryPick baseline)
+implement by calling :func:`propose_batch` here — then probes every
+member, charging machine cost for all of them but wall-clock only for the
+round's slowest probe.
+
+:func:`propose_batch` wraps any :class:`~repro.core.bo.BayesianProposer`
+without modifying it, by feeding it a history extended with fantasy
+trials.  :func:`run_parallel_round` predates the executor layer and is
+kept as a convenience for driving a bare proposer; new code should run a
+``TuningSession`` with a ``ParallelExecutor`` instead.
 """
 
 from __future__ import annotations
@@ -29,8 +41,14 @@ def _with_fantasy(
     history: TrialHistory,
     space: ConfigSpace,
     fantasies: List[tuple],
+    cost_lie: float,
 ) -> TrialHistory:
-    """A copy of ``history`` extended with (config, lied objective) pairs."""
+    """A copy of ``history`` extended with (config, lied objective) pairs.
+
+    Fantasy trials carry ``cost_lie`` as their probe cost: a zero cost
+    would poison a cost-aware proposer's cost surrogate (log-cost outliers
+    around every fantasised point), so the lie covers both axes.
+    """
     extended = TrialHistory()
     for trial in history.trials:
         extended.record(trial.config, trial.measurement)
@@ -42,7 +60,7 @@ def _with_fantasy(
                 ok=True,
                 fidelity="fantasy",
                 objective=lie,
-                probe_cost_s=0.0,
+                probe_cost_s=cost_lie,
             ),
         )
     return extended
@@ -70,13 +88,15 @@ def propose_batch(
     if successes:
         values = [t.objective for t in successes]
         lie_value = max(values) if lie == "incumbent" else float(np.mean(values))
+        cost_lie = float(np.median([t.measurement.probe_cost_s for t in successes]))
     else:
         lie_value = 0.0
+        cost_lie = 0.0
 
     batch: List[ConfigDict] = []
     fantasies: List[tuple] = []
     for _ in range(batch_size):
-        extended = _with_fantasy(history, proposer.space, fantasies)
+        extended = _with_fantasy(history, proposer.space, fantasies, cost_lie)
         config = proposer.propose(extended, rng)
         batch.append(config)
         fantasies.append((config, lie_value))

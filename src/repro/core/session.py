@@ -1,0 +1,351 @@
+"""Tuning sessions: the propose→probe loop with pluggable trial execution.
+
+The seed hard-wired the run loop inside :meth:`SearchStrategy.run`: one
+probe at a time, cost accounted as pure machine-seconds.  This module
+extracts that loop into a :class:`TuningSession`, which owns the budget,
+history, and RNG, and delegates *how probes execute* to an
+:class:`Executor`:
+
+- :class:`SerialExecutor` — one probe per round, exactly the seed's
+  semantics (histories are trial-for-trial identical at the same seed);
+- :class:`ParallelExecutor` — K probes per round, the cluster setting the
+  paper targets.  Strategies supply the batch via
+  :meth:`SearchStrategy.propose_batch` (the BO tuner uses constant-liar
+  fantasisation, see :mod:`repro.core.parallel`), every member is probed,
+  and the history is charged machine cost for all K probes but wall-clock
+  only for the slowest one — the synchronous round barrier a real K-machine
+  deployment pays.
+
+Sessions also emit lifecycle events to :class:`SessionCallback` observers;
+:class:`ProgressLogger` (per-round progress lines) and
+:class:`JsonlTrialLog` (a JSONL sink for offline analysis) ship here.
+
+Example
+-------
+>>> from repro.core import MLConfigTuner, TuningBudget
+>>> from repro.core.session import ParallelExecutor, TuningSession
+>>> session = TuningSession(MLConfigTuner(), executor=ParallelExecutor(4))
+>>> # result = session.run(env, space, TuningBudget(max_trials=40))
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from abc import ABC, abstractmethod
+from typing import IO, List, Optional, Sequence, TextIO
+
+import numpy as np
+
+from repro.configspace import ConfigDict, ConfigSpace
+from repro.core.strategy import SearchStrategy, TuningBudget, TuningResult
+from repro.core.trial import Trial, TrialHistory
+from repro.mlsim import TrainingEnvironment
+
+
+class SessionCallback:
+    """Observer of session lifecycle events.  Every hook is an optional no-op.
+
+    Hooks fire in a fixed order: ``on_session_start``, then per round
+    ``on_trial_start`` for every launched probe, ``on_trial_end`` for every
+    recorded trial, ``on_round_end`` once, and finally ``on_session_end``.
+    """
+
+    def on_session_start(
+        self,
+        strategy: SearchStrategy,
+        env: TrainingEnvironment,
+        space: ConfigSpace,
+        budget: TuningBudget,
+    ) -> None:
+        """The session is about to run its first round."""
+
+    def on_trial_start(self, index: int, config: ConfigDict) -> None:
+        """A probe of ``config`` is being launched as trial ``index``."""
+
+    def on_trial_end(self, trial: Trial) -> None:
+        """A probe finished and was recorded in the history."""
+
+    def on_round_end(
+        self, round_index: int, trials: Sequence[Trial], history: TrialHistory
+    ) -> None:
+        """A round (all its probes) completed."""
+
+    def on_session_end(self, result: TuningResult) -> None:
+        """The session finished (budget exhausted or strategy done)."""
+
+
+class _Events:
+    """Fans one lifecycle event out to every registered callback."""
+
+    def __init__(self, callbacks: Sequence[SessionCallback]) -> None:
+        self._callbacks = list(callbacks)
+
+    def session_start(self, strategy, env, space, budget) -> None:
+        for callback in self._callbacks:
+            callback.on_session_start(strategy, env, space, budget)
+
+    def trial_start(self, index: int, config: ConfigDict) -> None:
+        for callback in self._callbacks:
+            callback.on_trial_start(index, config)
+
+    def trial_end(self, trial: Trial) -> None:
+        for callback in self._callbacks:
+            callback.on_trial_end(trial)
+
+    def round_end(self, round_index, trials, history) -> None:
+        for callback in self._callbacks:
+            callback.on_round_end(round_index, trials, history)
+
+    def session_end(self, result: TuningResult) -> None:
+        for callback in self._callbacks:
+            callback.on_session_end(result)
+
+
+class ProgressLogger(SessionCallback):
+    """Log one line per round: trials, best objective, machine cost, wall-clock."""
+
+    def __init__(self, stream: Optional[TextIO] = None, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.stream = stream
+        self.every = every
+        self._name = "session"
+
+    def on_session_start(self, strategy, env, space, budget) -> None:
+        self._name = strategy.name
+
+    def on_round_end(self, round_index, trials, history) -> None:
+        if (round_index + 1) % self.every:
+            return
+        best = history.best_objective()
+        best_text = f"{best:.2f}" if best is not None else "-"
+        print(
+            f"[{self._name}] round {round_index + 1}: trials={len(history)} "
+            f"best={best_text} cost={history.total_cost_s:.0f}s "
+            f"wall={history.total_wall_clock_s:.0f}s",
+            file=self.stream or sys.stderr,
+        )
+
+
+class JsonlTrialLog(SessionCallback):
+    """Write the session as JSON lines: session markers plus one trial per line.
+
+    The file is truncated at session start, so one sink instance logs one
+    session at a time (reuse across sequential sessions overwrites).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle: Optional[IO[str]] = None
+
+    def _write(self, payload: dict) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "w")
+        self._handle.write(json.dumps(payload) + "\n")
+        self._handle.flush()
+
+    def on_session_start(self, strategy, env, space, budget) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._write(
+            {
+                "event": "session_start",
+                "strategy": strategy.name,
+                "environment": env.describe(),
+                "budget_trials": budget.max_trials,
+                "budget_cost_s": budget.max_cost_s,
+            }
+        )
+
+    def on_trial_end(self, trial: Trial) -> None:
+        self._write(
+            {
+                "event": "trial",
+                "index": trial.index,
+                "round": trial.round_index,
+                "config": trial.config,
+                "ok": trial.ok,
+                "objective": None if trial.objective is None else float(trial.objective),
+                "probe_cost_s": float(trial.measurement.probe_cost_s),
+                "cumulative_cost_s": float(trial.cumulative_cost_s),
+                "cumulative_wall_clock_s": float(trial.cumulative_wall_clock_s),
+            }
+        )
+
+    def on_session_end(self, result: TuningResult) -> None:
+        best = result.best_objective
+        self._write(
+            {
+                "event": "session_end",
+                "num_trials": result.num_trials,
+                "best_objective": None if best is None else float(best),
+                "total_cost_s": float(result.total_cost_s),
+                "total_wall_clock_s": float(result.history.total_wall_clock_s),
+            }
+        )
+        self._handle.close()
+        self._handle = None
+
+
+class Executor(ABC):
+    """How one round of probes executes against the environment."""
+
+    workers: int = 1
+
+    @abstractmethod
+    def run_round(
+        self,
+        strategy: SearchStrategy,
+        env: TrainingEnvironment,
+        space: ConfigSpace,
+        history: TrialHistory,
+        rng: np.random.Generator,
+        budget: TuningBudget,
+        events: _Events,
+    ) -> List[Trial]:
+        """Propose, probe, and record one round; return the recorded trials."""
+
+
+class SerialExecutor(Executor):
+    """One probe per round — the seed's exact serial semantics."""
+
+    def run_round(self, strategy, env, space, history, rng, budget, events):
+        config = strategy.propose(history, space, rng)
+        events.trial_start(len(history), config)
+        measurement = strategy.measure(env, config)
+        trial = history.record(config, measurement)
+        strategy.observe(trial)
+        events.trial_end(trial)
+        return [trial]
+
+
+class ParallelExecutor(Executor):
+    """K-way synchronous parallel probing with honest wall-clock accounting.
+
+    Each round asks the strategy for up to ``workers`` configurations,
+    probes every member, and records all of them under one round index.
+    Machine cost accrues for every probe; wall-clock accrues once per
+    round, at the cost of the slowest member (the synchronous barrier).
+    The batch is truncated near the trial budget so a session never
+    overshoots ``max_trials``.
+
+    Probes are *simulated* member by member (the convention the
+    constant-liar module established): each member is measured, recorded,
+    and observed before the next, so gates like the BO tuner's early
+    termination see round-mates' results — on a real cluster the short
+    probes that drive the gate finish in the first fraction of the round,
+    long before the round barrier.  Only the wall-clock accounting treats
+    the round as concurrent.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+
+    def run_round(self, strategy, env, space, history, rng, budget, events):
+        k = self.workers
+        if budget.max_trials is not None:
+            k = min(k, budget.max_trials - len(history))
+        if k < 1:
+            return []
+        batch = strategy.propose_batch(history, space, rng, k)
+        if not batch:
+            return []
+        round_index = history.num_rounds
+        round_start_wall_s = history.total_wall_clock_s
+        for offset, config in enumerate(batch):
+            events.trial_start(len(history) + offset, config)
+        trials = []
+        round_wall_s = 0.0
+        for config in batch:
+            measurement = strategy.measure(env, config)
+            # The session total advances by the running round maximum (the
+            # slowest member so far — exactly the round's slowest probe
+            # once the round completes), while each trial is stamped with
+            # its own physical completion time: round start plus its own
+            # probe cost, independent of batch order.
+            new_wall_s = max(round_wall_s, measurement.probe_cost_s)
+            trial = history.record(
+                config,
+                measurement,
+                wall_clock_s=new_wall_s - round_wall_s,
+                round_index=round_index,
+                completed_at_wall_s=round_start_wall_s + measurement.probe_cost_s,
+            )
+            round_wall_s = new_wall_s
+            strategy.observe(trial)
+            events.trial_end(trial)
+            trials.append(trial)
+            # A cost-bounded budget stops mid-round (remaining members are
+            # cancelled), capping overshoot at one probe — as in serial.
+            if budget.exhausted(history):
+                break
+        return trials
+
+
+def executor_for(workers: int) -> Executor:
+    """The executor for a worker count: serial for 1, parallel otherwise.
+
+    ``workers=1`` deliberately maps to :class:`SerialExecutor` rather than
+    ``ParallelExecutor(1)``: the serial path goes through :meth:`propose`
+    and is guaranteed seed-identical to the pre-session loop, while the
+    parallel path routes through ``propose_batch``.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return SerialExecutor() if workers == 1 else ParallelExecutor(workers)
+
+
+class TuningSession:
+    """Owns the budget/history/RNG loop; delegates probing to an executor.
+
+    ``SearchStrategy.run`` is a thin shim over this class; construct a
+    session directly to choose the executor or attach callbacks::
+
+        TuningSession(tuner, executor=ParallelExecutor(4),
+                      callbacks=[ProgressLogger()]).run(env, space, budget)
+    """
+
+    def __init__(
+        self,
+        strategy: SearchStrategy,
+        executor: Optional[Executor] = None,
+        callbacks: Sequence[SessionCallback] = (),
+    ) -> None:
+        self.strategy = strategy
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.callbacks = list(callbacks)
+
+    def run(
+        self,
+        env: TrainingEnvironment,
+        space: ConfigSpace,
+        budget: TuningBudget,
+        seed: int = 0,
+    ) -> TuningResult:
+        """Execute the tuning session and return its result."""
+        rng = np.random.default_rng(seed)
+        history = TrialHistory()
+        events = _Events(self.callbacks)
+        self.strategy.reset()
+        events.session_start(self.strategy, env, space, budget)
+        while not budget.exhausted(history) and not self.strategy.finished(
+            history, space
+        ):
+            trials = self.executor.run_round(
+                self.strategy, env, space, history, rng, budget, events
+            )
+            if not trials:
+                break
+            events.round_end(history.num_rounds - 1, trials, history)
+        result = TuningResult(
+            strategy=self.strategy.name,
+            history=history,
+            best_trial=history.best(),
+            environment=env.describe(),
+        )
+        events.session_end(result)
+        return result

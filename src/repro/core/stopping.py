@@ -141,10 +141,19 @@ class StoppedStrategy(SearchStrategy):
         self.name = f"{inner.name}+stop"
         self.stop_reason: Optional[str] = None
 
+    def reset(self) -> None:
+        self.inner.reset()
+        self.stop_reason = None
+
     def propose(
         self, history: TrialHistory, space: ConfigSpace, rng: np.random.Generator
     ) -> ConfigDict:
         return self.inner.propose(history, space, rng)
+
+    def propose_batch(
+        self, history: TrialHistory, space: ConfigSpace, rng: np.random.Generator, k: int
+    ) -> List[ConfigDict]:
+        return self.inner.propose_batch(history, space, rng, k)
 
     def observe(self, trial) -> None:
         self.inner.observe(trial)

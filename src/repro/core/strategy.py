@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -74,15 +74,28 @@ class TuningResult:
 
     @property
     def total_cost_s(self) -> float:
+        """Cumulative machine-seconds spent probing (all workers summed)."""
         return self.history.total_cost_s
+
+    @property
+    def total_wall_clock_s(self) -> float:
+        """Session wall-clock seconds (max per round under parallel probing)."""
+        return self.history.total_wall_clock_s
+
+    @property
+    def num_rounds(self) -> int:
+        return self.history.num_rounds
 
 
 class SearchStrategy(ABC):
     """Template for all tuners: propose → probe → record, until budget.
 
     Subclasses implement :meth:`propose`; the run loop, budget accounting,
-    and trial recording are shared so every strategy pays identical costs
-    for identical behaviour.
+    and trial recording live in :class:`~repro.core.session.TuningSession`
+    and are shared so every strategy pays identical costs for identical
+    behaviour.  :meth:`run` is a compatibility shim that executes a serial
+    session; pass ``executor=ParallelExecutor(k)`` (or build a
+    ``TuningSession`` directly) for K-way parallel probing.
     """
 
     name: str = "strategy"
@@ -96,6 +109,28 @@ class SearchStrategy(ABC):
     ) -> ConfigDict:
         """Return the next configuration to probe."""
 
+    def propose_batch(
+        self,
+        history: TrialHistory,
+        space: ConfigSpace,
+        rng: np.random.Generator,
+        k: int,
+    ) -> List[ConfigDict]:
+        """Hook: return up to ``k`` configurations to probe concurrently.
+
+        The default makes ``k`` sequential :meth:`propose` calls against
+        the same history — only safe when :meth:`propose` has no side
+        effects that :meth:`measure`/:meth:`finished` depend on.  Cursor
+        strategies override to stay within their structure (grid stops at
+        exhaustion, successive halving stays within one rung) and
+        model-based strategies override with a diversifying scheme — the
+        BO tuner uses constant-liar fantasisation
+        (:mod:`repro.core.parallel`).
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return [self.propose(history, space, rng) for _ in range(k)]
+
     def observe(self, trial: Trial) -> None:
         """Hook: called after each probe (for stateful strategies)."""
 
@@ -103,27 +138,32 @@ class SearchStrategy(ABC):
         """Hook: strategies may stop early (e.g. grid exhausted)."""
         return False
 
+    def reset(self) -> None:
+        """Hook: clear per-session state (called at the start of every run).
+
+        Stateful strategies must override this so a reused instance does
+        not leak incumbents, proposers, or counters from a previous
+        environment into the next session.
+        """
+
     def run(
         self,
         env: TrainingEnvironment,
         space: ConfigSpace,
         budget: TuningBudget,
         seed: int = 0,
+        executor: Optional["Executor"] = None,
+        callbacks: Sequence["SessionCallback"] = (),
     ) -> TuningResult:
-        """Execute the tuning session."""
-        rng = np.random.default_rng(seed)
-        history = TrialHistory()
-        while not budget.exhausted(history) and not self.finished(history, space):
-            config = self.propose(history, space, rng)
-            measurement = self.measure(env, config)
-            trial = history.record(config, measurement)
-            self.observe(trial)
-        return TuningResult(
-            strategy=self.name,
-            history=history,
-            best_trial=history.best(),
-            environment=env.describe(),
-        )
+        """Execute a tuning session (thin shim over ``TuningSession``).
+
+        With the default ``executor`` (serial) the produced history is
+        trial-for-trial identical to the pre-session seed loop.
+        """
+        from repro.core.session import TuningSession
+
+        session = TuningSession(self, executor=executor, callbacks=callbacks)
+        return session.run(env, space, budget, seed=seed)
 
     def measure(self, env: TrainingEnvironment, config: ConfigDict):
         """Probe one configuration (hook for early-termination tuners)."""

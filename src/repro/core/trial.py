@@ -1,9 +1,16 @@
 """Trials and tuning history.
 
 A :class:`Trial` records one configuration probe: the typed configuration,
-the measurement that came back, and bookkeeping (index, cumulative cost).
-:class:`TrialHistory` is the append-only log a tuner builds up; it exposes
-the derived series the evaluation plots (best-so-far, cumulative cost).
+the measurement that came back, and bookkeeping (index, round, cumulative
+machine cost and wall-clock).  :class:`TrialHistory` is the append-only log
+a tuner builds up; it exposes the derived series the evaluation plots
+(best-so-far, cumulative cost).
+
+Two cost axes are tracked.  *Machine cost* (``cumulative_cost_s``) sums
+every probe second regardless of where it ran — the bill for the whole
+cluster.  *Wall-clock* (``cumulative_wall_clock_s``) is what a stopwatch
+next to the tuning session reads: serial probing accrues every probe,
+K-way-parallel probing accrues only the slowest probe of each round.
 """
 
 from __future__ import annotations
@@ -17,12 +24,22 @@ from repro.mlsim import Measurement
 
 @dataclass(frozen=True)
 class Trial:
-    """One configuration probe and its outcome."""
+    """One configuration probe and its outcome.
+
+    ``round_index`` groups trials probed concurrently (serial execution
+    gives every trial its own round); ``cumulative_wall_clock_s`` is the
+    session wall-clock at which this trial's own probe completed — under
+    parallel probing that is its round's start plus its own probe cost,
+    so round-mates carry different stamps and the stamp of a cheap probe
+    is independent of slower round-mates.
+    """
 
     index: int
     config: ConfigDict
     measurement: Measurement
     cumulative_cost_s: float
+    round_index: int = 0
+    cumulative_wall_clock_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -41,18 +58,54 @@ class TrialHistory:
     def __init__(self) -> None:
         self._trials: List[Trial] = []
         self.total_cost_s = 0.0
+        self.total_wall_clock_s = 0.0
 
-    def record(self, config: ConfigDict, measurement: Measurement) -> Trial:
-        """Append a trial, accumulating its probe cost."""
+    def record(
+        self,
+        config: ConfigDict,
+        measurement: Measurement,
+        *,
+        wall_clock_s: Optional[float] = None,
+        round_index: Optional[int] = None,
+        completed_at_wall_s: Optional[float] = None,
+    ) -> Trial:
+        """Append a trial, accumulating its probe cost and wall-clock.
+
+        ``wall_clock_s`` is this trial's contribution to the session's
+        running wall-clock and defaults to the probe cost (serial
+        execution).  A parallel executor spreads each round's wall-clock
+        (the slowest member) over the round's trials and stamps every
+        trial with ``completed_at_wall_s`` — the round's start plus the
+        trial's own probe cost — so stamps are physical completion times,
+        independent of batch order; within a round they are not monotone
+        in trial index.  ``round_index`` defaults to a fresh round per
+        trial.
+        """
+        if wall_clock_s is None:
+            wall_clock_s = measurement.probe_cost_s
+        if round_index is None:
+            round_index = self.num_rounds
         self.total_cost_s += measurement.probe_cost_s
+        self.total_wall_clock_s += wall_clock_s
         trial = Trial(
             index=len(self._trials),
             config=dict(config),
             measurement=measurement,
             cumulative_cost_s=self.total_cost_s,
+            round_index=round_index,
+            cumulative_wall_clock_s=(
+                completed_at_wall_s
+                if completed_at_wall_s is not None
+                else self.total_wall_clock_s
+            ),
         )
         self._trials.append(trial)
         return trial
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of probe rounds recorded so far."""
+        return self._trials[-1].round_index + 1 if self._trials else 0
 
     def __len__(self) -> int:
         return len(self._trials)
@@ -105,6 +158,14 @@ class TrialHistory:
         """Cumulative probe cost (simulated seconds) after each trial."""
         return [t.cumulative_cost_s for t in self._trials]
 
+    def wall_clock_series(self) -> List[float]:
+        """Per-trial completion time on the session wall-clock.
+
+        Monotone under serial execution; under parallel probing the
+        members of one round carry their own completion offsets.
+        """
+        return [t.cumulative_wall_clock_s for t in self._trials]
+
     def trials_to_reach(self, threshold: float) -> Optional[int]:
         """Number of trials to first reach ``objective >= threshold``."""
         for trial in self._trials:
@@ -118,3 +179,17 @@ class TrialHistory:
             if trial.ok and trial.objective >= threshold:
                 return trial.cumulative_cost_s
         return None
+
+    def wall_clock_to_reach(self, threshold: float) -> Optional[float]:
+        """Earliest wall-clock (simulated seconds) at which ``threshold`` held.
+
+        The minimum completion stamp over qualifying trials — under
+        parallel probing a cheap round-mate can reach the threshold before
+        an earlier-indexed slow probe completes.
+        """
+        times = [
+            t.cumulative_wall_clock_s
+            for t in self._trials
+            if t.ok and t.objective >= threshold
+        ]
+        return min(times) if times else None

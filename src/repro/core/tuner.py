@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.configspace import ConfigDict, ConfigSpace, to_training_config
 from repro.core.bo import BayesianProposer
+from repro.core.parallel import propose_batch as constant_liar_batch
 from repro.core.strategy import SearchStrategy
 from repro.core.trial import TrialHistory
 from repro.mlsim import Measurement, TrainingEnvironment
@@ -61,6 +62,10 @@ class MLConfigTuner(SearchStrategy):
         ``rejection_margin * |incumbent|`` below the incumbent.  The margin
         absorbs short-probe noise; 0.25 keeps the false-rejection rate
         negligible at the default noise level.
+    batch_lie:
+        Fantasy value used when a parallel executor requests a batch:
+        ``"incumbent"`` (constant liar, strongly diversifying) or
+        ``"mean"`` (milder).  See :mod:`repro.core.parallel`.
     n_candidates / kernel / xi / beta / seed:
         Forwarded to :class:`~repro.core.bo.BayesianProposer`.
     """
@@ -72,6 +77,7 @@ class MLConfigTuner(SearchStrategy):
         early_termination: bool = True,
         short_probe_fraction: float = 0.25,
         rejection_margin: float = 0.25,
+        batch_lie: str = "incumbent",
         n_candidates: int = 512,
         kernel: str = "matern52",
         xi: float = 0.01,
@@ -83,11 +89,14 @@ class MLConfigTuner(SearchStrategy):
             raise ValueError("short_probe_fraction must be in (0, 1)")
         if rejection_margin < 0:
             raise ValueError("rejection_margin must be non-negative")
+        if batch_lie not in ("incumbent", "mean"):
+            raise ValueError("batch_lie must be 'incumbent' or 'mean'")
         self.acquisition = acquisition
         self.n_initial = n_initial
         self.early_termination = early_termination
         self.short_probe_fraction = short_probe_fraction
         self.rejection_margin = rejection_margin
+        self.batch_lie = batch_lie
         self.n_candidates = n_candidates
         self.kernel = kernel
         self.xi = xi
@@ -100,12 +109,19 @@ class MLConfigTuner(SearchStrategy):
 
     # -- SearchStrategy hooks ------------------------------------------------
 
-    def propose(
-        self,
-        history: TrialHistory,
-        space: ConfigSpace,
-        rng: np.random.Generator,
-    ) -> ConfigDict:
+    def reset(self) -> None:
+        """Clear per-session state so a reused tuner instance starts fresh.
+
+        Without this, ``_incumbent`` (and with it the early-termination
+        gate), the fitted proposer, and the early-termination counter leak
+        from one ``run()`` into the next — a stale incumbent from a fast
+        environment would reject every short probe in a slower one.
+        """
+        self._proposer = None
+        self._incumbent = None
+        self.probes_terminated_early = 0
+
+    def _ensure_proposer(self, space: ConfigSpace) -> BayesianProposer:
         if self._proposer is None or self._proposer.space is not space:
             self._proposer = BayesianProposer(
                 space,
@@ -117,7 +133,27 @@ class MLConfigTuner(SearchStrategy):
                 beta=self.beta,
                 seed=self.seed,
             )
-        return self._proposer.propose(history, rng)
+        return self._proposer
+
+    def propose(
+        self,
+        history: TrialHistory,
+        space: ConfigSpace,
+        rng: np.random.Generator,
+    ) -> ConfigDict:
+        return self._ensure_proposer(space).propose(history, rng)
+
+    def propose_batch(
+        self,
+        history: TrialHistory,
+        space: ConfigSpace,
+        rng: np.random.Generator,
+        k: int,
+    ) -> list:
+        """Constant-liar batch: k diverse points for parallel probing."""
+        return constant_liar_batch(
+            self._ensure_proposer(space), history, rng, k, lie=self.batch_lie
+        )
 
     def observe(self, trial) -> None:
         if trial.ok and (self._incumbent is None or trial.objective > self._incumbent):

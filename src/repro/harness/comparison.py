@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.cluster import ClusterSpec
 from repro.configspace import ConfigSpace, ml_config_space
+from repro.core.session import executor_for
 from repro.core.strategy import SearchStrategy, TuningBudget, TuningResult
 from repro.harness import metrics
 from repro.harness.optimum import estimate_optimum
@@ -36,6 +37,7 @@ class StrategyOutcome:
     cost_to_5pct: List[Optional[float]]
     trials_to_10pct: List[Optional[int]]
     mean_total_cost_s: float
+    mean_total_wall_clock_s: float = 0.0
 
     @property
     def mean_normalized_best(self) -> float:
@@ -89,6 +91,7 @@ def compare_strategies(
     space: Optional[ConfigSpace] = None,
     env_seed: int = 0,
     seed: int = 0,
+    workers: int = 1,
 ) -> Comparison:
     """Run every strategy ``repeats`` times and aggregate.
 
@@ -96,10 +99,18 @@ def compare_strategies(
     seed (same cluster, same per-trial-index noise): strategies are
     compared on an identical problem instance, the simulation analogue of
     benchmarking tuners against one physical deployment.
+
+    ``workers`` selects the execution axis: 1 probes serially (the seed
+    semantics), K > 1 probes K configurations per round through a
+    :class:`~repro.core.session.ParallelExecutor` and the outcomes carry
+    the corresponding wall-clock accounting.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
     space = space or ml_config_space(cluster.total_nodes)
+    executor = executor_for(workers)
 
     reference_env = TrainingEnvironment(
         workload, cluster, seed=env_seed, fidelity="analytic", objective_name=objective
@@ -125,7 +136,9 @@ def compare_strategies(
                 fidelity=fidelity,
                 objective_name=objective,
             )
-            results.append(strategy.run(env, space, budget, seed=seed + repeat))
+            results.append(
+                strategy.run(env, space, budget, seed=seed + repeat, executor=executor)
+            )
         curves = [metrics.normalized_best_so_far(r, optimum_value) for r in results]
         comparison.outcomes[name] = StrategyOutcome(
             name=name,
@@ -145,6 +158,9 @@ def compare_strategies(
                 metrics.trials_to_within(r, optimum_value, 0.10) for r in results
             ],
             mean_total_cost_s=float(np.mean([r.total_cost_s for r in results])),
+            mean_total_wall_clock_s=float(
+                np.mean([r.total_wall_clock_s for r in results])
+            ),
         )
     return comparison
 

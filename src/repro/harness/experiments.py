@@ -547,6 +547,82 @@ def exp_f6_sync_crossover(
 
 
 # ---------------------------------------------------------------------------
+# P1: parallel-probing wall-clock speedup (session/executor layer)
+# ---------------------------------------------------------------------------
+
+def exp_p1_parallel_speedup(
+    nodes: int = 16,
+    budget_trials: int = 36,
+    seed: int = 0,
+    workload_name: str = "resnet50-imagenet",
+    worker_counts: Sequence[int] = (1, 2, 4, 8),
+) -> ExperimentTable:
+    """Wall-clock to tune with K-way parallel probing vs serial.
+
+    Every row runs the BO tuner under the same trial budget through a
+    ``ParallelExecutor(workers=K)`` (K=1 is the serial seed semantics).
+    Machine cost sums every probe second; wall-clock charges only the
+    slowest probe of each synchronous round.  ``h→serial best`` is the
+    wall-clock hours until the session first matches the serial run's
+    final incumbent — the paper-style "time to equal quality" axis.
+    """
+
+    def compute() -> List[List[Any]]:
+        from repro.core.session import executor_for
+
+        workload = get_workload(workload_name)
+        cluster = homogeneous(nodes)
+        space = ml_config_space(nodes)
+        budget = TuningBudget(max_trials=budget_trials)
+
+        def run(workers: int):
+            env = TrainingEnvironment(workload, cluster, seed=seed)
+            return MLConfigTuner(seed=seed).run(
+                env, space, budget, seed=seed, executor=executor_for(workers)
+            )
+
+        results = {workers: run(workers) for workers in worker_counts}
+        serial = results.get(1) or run(1)
+        serial_best = serial.best_objective or 0.0
+        rows = []
+        for workers, result in sorted(results.items()):
+            reach = result.history.wall_clock_to_reach(serial_best)
+            rows.append(
+                [
+                    workers,
+                    result.best_objective,
+                    result.history.num_rounds,
+                    result.total_cost_s / 3600.0,
+                    result.total_wall_clock_s / 3600.0,
+                    serial.total_wall_clock_s / result.total_wall_clock_s,
+                    reach / 3600.0 if reach is not None else None,
+                ]
+            )
+        return rows
+
+    rows = _memoised(
+        ("p1", nodes, budget_trials, seed, workload_name, tuple(worker_counts)),
+        compute,
+    )
+    return ExperimentTable(
+        exp_id="P1",
+        title=f"Parallel probing: wall-clock vs workers — {workload_name}, "
+        f"{budget_trials} trials",
+        headers=[
+            "workers",
+            "best (smp/s)",
+            "rounds",
+            "machine hours",
+            "wall-clock hours",
+            "wall speedup",
+            "h→serial best",
+        ],
+        rows=rows,
+        notes="wall-clock to serial quality shrinks with K; the wider batches spend extra machine-hours exploring",
+    )
+
+
+# ---------------------------------------------------------------------------
 # A1: acquisition-function ablation
 # ---------------------------------------------------------------------------
 
@@ -921,6 +997,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., Any]] = {
     "F4": exp_f4_tta,
     "F5": exp_f5_scalability,
     "F6": exp_f6_sync_crossover,
+    "P1": exp_p1_parallel_speedup,
     "A1": exp_a1_acquisition,
     "A2": exp_a2_early_termination,
     "A3": exp_a3_warmstart,

@@ -1,0 +1,387 @@
+"""Tests for the TuningSession / executor layer and its callbacks."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines import GridSearch, RandomSearch
+from repro.cluster import homogeneous
+from repro.configspace import FloatParameter, ConfigSpace, ml_config_space
+from repro.core import (
+    MLConfigTuner,
+    ParallelExecutor,
+    SerialExecutor,
+    TrialHistory,
+    TuningBudget,
+    TuningSession,
+)
+from repro.core.session import JsonlTrialLog, ProgressLogger, SessionCallback
+from repro.core.stopping import PlateauRule, StoppedStrategy
+from repro.core.strategy import SearchStrategy
+from repro.mlsim import Measurement, TrainingConfig, TrainingEnvironment
+from repro.workloads import get_workload
+
+NODES = 8
+
+
+def make_env(workload="resnet50-imagenet", seed=0, nodes=NODES):
+    return TrainingEnvironment(get_workload(workload), homogeneous(nodes), seed=seed)
+
+
+def space(nodes=NODES):
+    return ml_config_space(nodes)
+
+
+def seed_reference_loop(strategy, env, space_, budget, seed):
+    """The pre-session serial run loop, reimplemented verbatim."""
+    rng = np.random.default_rng(seed)
+    history = TrialHistory()
+    while not budget.exhausted(history) and not strategy.finished(history, space_):
+        config = strategy.propose(history, space_, rng)
+        measurement = strategy.measure(env, config)
+        trial = history.record(config, measurement)
+        strategy.observe(trial)
+    return history
+
+
+class CostedStrategy(SearchStrategy):
+    """Deterministic stub with scripted probe costs (no real environment)."""
+
+    name = "costed-stub"
+
+    def __init__(self, costs):
+        self.costs = list(costs)
+        self.cursor = 0
+
+    def propose(self, history, space_, rng):
+        return {"x": 0.5}
+
+    def measure(self, env, config):
+        cost = float(self.costs[self.cursor % len(self.costs)])
+        self.cursor += 1
+        return Measurement(
+            config=TrainingConfig(),
+            ok=True,
+            fidelity="stub",
+            objective=cost,
+            probe_cost_s=cost,
+        )
+
+
+class StubEnv:
+    def describe(self):
+        return {"workload": "stub"}
+
+
+def stub_space():
+    return ConfigSpace([FloatParameter("x", 0.0, 1.0)])
+
+
+class TestSerialEquivalence:
+    """TuningSession + SerialExecutor must reproduce the seed loop exactly."""
+
+    @pytest.mark.parametrize(
+        "factory,trials",
+        [(lambda: RandomSearch(), 10), (lambda: MLConfigTuner(seed=0), 14)],
+    )
+    def test_history_identical_to_seed_loop(self, factory, trials):
+        budget = TuningBudget(max_trials=trials)
+        reference = seed_reference_loop(
+            factory(), make_env(), space(), budget, seed=0
+        )
+        result = factory().run(make_env(), space(), budget, seed=0)
+        assert [t.config for t in result.history] == [t.config for t in reference]
+        assert [t.objective for t in result.history] == [
+            t.objective for t in reference
+        ]
+        assert result.history.cost_series() == reference.cost_series()
+
+    def test_serial_wall_clock_equals_machine_cost(self):
+        result = RandomSearch().run(
+            make_env(), space(), TuningBudget(max_trials=8), seed=1
+        )
+        assert result.total_wall_clock_s == pytest.approx(result.total_cost_s)
+        assert result.history.wall_clock_series() == result.history.cost_series()
+        assert result.history.num_rounds == result.num_trials
+
+    def test_explicit_session_matches_run_shim(self):
+        shim = RandomSearch().run(make_env(), space(), TuningBudget(max_trials=6), seed=2)
+        direct = TuningSession(RandomSearch(), executor=SerialExecutor()).run(
+            make_env(), space(), TuningBudget(max_trials=6), seed=2
+        )
+        assert [t.config for t in shim.history] == [t.config for t in direct.history]
+
+
+class TestParallelExecutor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(workers=0)
+
+    def test_wall_clock_is_max_per_round(self):
+        strategy = CostedStrategy([5.0, 3.0, 1.0, 2.0, 8.0, 4.0])
+        result = TuningSession(strategy, executor=ParallelExecutor(3)).run(
+            StubEnv(), stub_space(), TuningBudget(max_trials=6), seed=0
+        )
+        assert result.num_trials == 6
+        assert result.history.num_rounds == 2
+        assert result.total_cost_s == pytest.approx(23.0)
+        # Round walls: max(5,3,1)=5 and max(2,8,4)=8.
+        assert result.total_wall_clock_s == pytest.approx(13.0)
+        assert [t.round_index for t in result.history] == [0, 0, 0, 1, 1, 1]
+
+    def test_trial_stamps_are_physical_completion_times(self):
+        strategy = CostedStrategy([5.0, 3.0, 1.0, 2.0, 8.0, 4.0])
+        result = TuningSession(strategy, executor=ParallelExecutor(3)).run(
+            StubEnv(), stub_space(), TuningBudget(max_trials=6), seed=0
+        )
+        # Each trial completes at its round's start plus its own probe cost.
+        assert result.history.wall_clock_series() == pytest.approx(
+            [5.0, 3.0, 1.0, 7.0, 13.0, 9.0]
+        )
+
+    def test_wall_clock_to_reach_is_order_independent(self):
+        # The cheap high-objective probe reaches the threshold at its own
+        # completion time regardless of where it sits in the batch.
+        for costs, want in ([9.0, 1.0], 1.0), ([1.0, 9.0], 1.0):
+            strategy = CostedStrategy(costs)
+            result = TuningSession(strategy, executor=ParallelExecutor(2)).run(
+                StubEnv(), stub_space(), TuningBudget(max_trials=2), seed=0
+            )
+            # CostedStrategy reports objective == cost, so threshold 1.0 is
+            # first met by the 1-second probe.
+            assert result.history.wall_clock_to_reach(1.0) == pytest.approx(want)
+
+    def test_truncates_batch_at_trial_budget(self):
+        strategy = CostedStrategy([1.0])
+        result = TuningSession(strategy, executor=ParallelExecutor(4)).run(
+            StubEnv(), stub_space(), TuningBudget(max_trials=6), seed=0
+        )
+        assert result.num_trials == 6
+        assert [t.round_index for t in result.history] == [0, 0, 0, 0, 1, 1]
+
+    def test_cost_budget_stops_after_round(self):
+        strategy = CostedStrategy([10.0])
+        result = TuningSession(strategy, executor=ParallelExecutor(2)).run(
+            StubEnv(), stub_space(), TuningBudget(max_trials=None, max_cost_s=35.0), seed=0
+        )
+        # Rounds cost 20 machine-seconds each; the second pushes past 35.
+        assert result.num_trials == 4
+        assert result.total_cost_s == pytest.approx(40.0)
+
+    def test_cost_budget_cancels_rest_of_round(self):
+        strategy = CostedStrategy([10.0])
+        result = TuningSession(strategy, executor=ParallelExecutor(4)).run(
+            StubEnv(), stub_space(), TuningBudget(max_trials=None, max_cost_s=15.0), seed=0
+        )
+        # The cap hits after the second member; the other two are cancelled,
+        # so overshoot stays within one probe (as in serial execution).
+        assert result.num_trials == 2
+        assert result.total_cost_s == pytest.approx(20.0)
+
+    def test_default_propose_batch_advances_grid_cursor(self):
+        strategy = GridSearch(resolution=1, seed=0)
+        rng = np.random.default_rng(0)
+        batch = strategy.propose_batch(TrialHistory(), space(), rng, 4)
+        assert len(batch) == 4
+        seen = [tuple(sorted(c.items())) for c in batch]
+        assert len(seen) == len(set(seen))
+
+    def test_parallel_grid_stops_at_exhaustion_without_random_padding(self):
+        serial = GridSearch(resolution=1, seed=0)
+        serial_result = serial.run(make_env(), space(), TuningBudget(max_trials=500))
+        parallel = GridSearch(resolution=1, seed=0)
+        parallel_result = parallel.run(
+            make_env(), space(), TuningBudget(max_trials=500),
+            executor=ParallelExecutor(4),
+        )
+        # Same grid, same exhaustion point: no off-grid random fillers.
+        assert parallel_result.num_trials == serial_result.num_trials
+        assert {tuple(sorted(t.config.items())) for t in parallel_result.history} == {
+            tuple(sorted(t.config.items())) for t in serial_result.history
+        }
+
+    def test_halving_batch_stays_within_one_rung(self):
+        from repro.baselines import SuccessiveHalving
+
+        strategy = SuccessiveHalving(bracket_size=6, eta=3, seed=0)
+        rng = np.random.default_rng(0)
+        batch = strategy.propose_batch(TrialHistory(), space(), rng, 100)
+        # The first rung has bracket_size members; the batch never crosses
+        # into the next rung even when more slots are available.
+        assert len(batch) == 6
+
+    def test_parallel_cherrypick_still_stops_on_ei_threshold(self):
+        from repro.baselines import CherryPick
+
+        result = CherryPick(seed=0).run(
+            make_env(), space(), TuningBudget(max_trials=40), seed=0,
+            executor=ParallelExecutor(4),
+        )
+        assert result.num_trials < 40
+
+    def test_propose_batch_validates_k(self):
+        with pytest.raises(ValueError):
+            RandomSearch().propose_batch(TrialHistory(), space(), np.random.default_rng(0), 0)
+
+
+class RecordingCallback(SessionCallback):
+    def __init__(self):
+        self.events = []
+
+    def on_session_start(self, strategy, env, space_, budget):
+        self.events.append("session_start")
+
+    def on_trial_start(self, index, config):
+        self.events.append(f"trial_start:{index}")
+
+    def on_trial_end(self, trial):
+        self.events.append(f"trial_end:{trial.index}")
+
+    def on_round_end(self, round_index, trials, history):
+        self.events.append(f"round_end:{round_index}")
+
+    def on_session_end(self, result):
+        self.events.append("session_end")
+
+
+class TestCallbacks:
+    def test_serial_callback_ordering(self):
+        recorder = RecordingCallback()
+        TuningSession(
+            CostedStrategy([1.0]), callbacks=[recorder]
+        ).run(StubEnv(), stub_space(), TuningBudget(max_trials=2), seed=0)
+        assert recorder.events == [
+            "session_start",
+            "trial_start:0",
+            "trial_end:0",
+            "round_end:0",
+            "trial_start:1",
+            "trial_end:1",
+            "round_end:1",
+            "session_end",
+        ]
+
+    def test_parallel_callback_ordering(self):
+        recorder = RecordingCallback()
+        TuningSession(
+            CostedStrategy([1.0]), executor=ParallelExecutor(2), callbacks=[recorder]
+        ).run(StubEnv(), stub_space(), TuningBudget(max_trials=4), seed=0)
+        assert recorder.events == [
+            "session_start",
+            "trial_start:0",
+            "trial_start:1",
+            "trial_end:0",
+            "trial_end:1",
+            "round_end:0",
+            "trial_start:2",
+            "trial_start:3",
+            "trial_end:2",
+            "trial_end:3",
+            "round_end:1",
+            "session_end",
+        ]
+
+    def test_progress_logger_writes_per_round(self):
+        stream = io.StringIO()
+        TuningSession(
+            CostedStrategy([1.0]), callbacks=[ProgressLogger(stream=stream)]
+        ).run(StubEnv(), stub_space(), TuningBudget(max_trials=3), seed=0)
+        lines = [line for line in stream.getvalue().splitlines() if line]
+        assert len(lines) == 3
+        assert "costed-stub" in lines[0]
+        assert "wall=" in lines[0]
+
+    def test_progress_logger_validation(self):
+        with pytest.raises(ValueError):
+            ProgressLogger(every=0)
+
+    def test_jsonl_trial_log(self, tmp_path):
+        path = str(tmp_path / "trials.jsonl")
+        result = RandomSearch().run(
+            make_env(),
+            space(),
+            TuningBudget(max_trials=4),
+            seed=0,
+            callbacks=[JsonlTrialLog(path)],
+        )
+        records = [json.loads(line) for line in open(path)]
+        assert records[0]["event"] == "session_start"
+        assert records[0]["strategy"] == "random"
+        assert records[-1]["event"] == "session_end"
+        assert records[-1]["num_trials"] == 4
+        trials = [r for r in records if r["event"] == "trial"]
+        assert len(trials) == 4
+        assert [t["index"] for t in trials] == [0, 1, 2, 3]
+        assert trials[-1]["cumulative_cost_s"] == pytest.approx(result.total_cost_s)
+        assert trials[0]["config"] == result.history[0].config
+
+
+class TestSessionReset:
+    def test_reused_tuner_matches_fresh_tuner(self):
+        """Stale incumbent/proposer state must not leak across run() calls."""
+        budget = TuningBudget(max_trials=12)
+        reused = MLConfigTuner(seed=0)
+        reused.run(make_env("resnet50-imagenet"), space(), budget, seed=0)
+        first_early = reused.probes_terminated_early
+        second = reused.run(make_env("lstm-ptb"), space(), budget, seed=0)
+        fresh_tuner = MLConfigTuner(seed=0)
+        fresh = fresh_tuner.run(make_env("lstm-ptb"), space(), budget, seed=0)
+        assert [t.config for t in second.history] == [t.config for t in fresh.history]
+        assert [t.objective for t in second.history] == [
+            t.objective for t in fresh.history
+        ]
+        # The counter reflects only the latest session.
+        assert reused.probes_terminated_early == fresh_tuner.probes_terminated_early
+        assert first_early >= 0
+
+    def test_reused_grid_search_restarts_sweep(self):
+        strategy = GridSearch(resolution=1, seed=0)
+        first = strategy.run(make_env(), space(), TuningBudget(max_trials=500))
+        second = strategy.run(make_env(), space(), TuningBudget(max_trials=500))
+        assert second.num_trials == first.num_trials
+
+    def test_reused_ottertune_remaps_per_session(self):
+        from repro.baselines import OtterTuneStyle
+
+        strategy = OtterTuneStyle(seed=0)
+        strategy.run(make_env(), space(), TuningBudget(max_trials=6), seed=0)
+        strategy._landmarks = [{"sentinel": True}]  # would crash if reused
+        strategy.mapped_workload = "stale"
+        strategy.reset()
+        assert strategy._landmarks is None
+        assert strategy.mapped_workload is None
+
+    def test_stopped_strategy_clears_stop_reason(self):
+        strategy = StoppedStrategy(
+            RandomSearch(), [PlateauRule(patience=5, min_relative_gain=0.02)]
+        )
+        strategy.run(make_env(), space(), TuningBudget(max_trials=60), seed=0)
+        assert strategy.stop_reason is not None
+        strategy.reset()
+        assert strategy.stop_reason is None
+
+
+class TestParallelSpeedup:
+    def test_parallel_4x_reaches_serial_quality_with_half_the_wall_clock(self):
+        """Acceptance: 4 workers match the serial incumbent >= 2x faster."""
+        nodes = 16
+        budget = TuningBudget(max_trials=36)
+        space_ = ml_config_space(nodes)
+
+        def env():
+            return TrainingEnvironment(
+                get_workload("resnet50-imagenet"), homogeneous(nodes), seed=0
+            )
+
+        serial = MLConfigTuner(seed=0).run(env(), space_, budget, seed=0)
+        parallel = MLConfigTuner(seed=0).run(
+            env(), space_, budget, seed=0, executor=ParallelExecutor(4)
+        )
+        assert parallel.best_objective >= serial.best_objective
+        reach = parallel.history.wall_clock_to_reach(serial.best_objective)
+        assert reach is not None
+        assert reach * 2.0 <= serial.total_wall_clock_s
+        # Machine cost is still honestly accounted: more than wall-clock.
+        assert parallel.total_cost_s > parallel.total_wall_clock_s

@@ -183,3 +183,44 @@ class TestMlConfigSpace:
         rng = np.random.default_rng(seed)
         config = space.sample(rng)
         assert space.decode(space.encode(config)) == config
+
+
+class TestEncodeBatch:
+    def test_matches_scalar_encode_bitwise(self):
+        space = ml_config_space(16)
+        rng = np.random.default_rng(0)
+        configs = space.sample_batch(rng, 64)
+        batch = space.encode_batch(configs)
+        stacked = np.array([space.encode(c) for c in configs])
+        assert batch.shape == (64, space.dims)
+        assert np.array_equal(batch, stacked)
+
+    def test_matches_scalar_encode_on_small_space(self):
+        space = small_space()
+        rng = np.random.default_rng(1)
+        configs = space.sample_batch(rng, 32)
+        assert np.array_equal(
+            space.encode_batch(configs),
+            np.array([space.encode(c) for c in configs]),
+        )
+
+    def test_empty_batch_has_right_shape(self):
+        space = ml_config_space(8)
+        assert space.encode_batch([]).shape == (0, space.dims)
+
+    def test_missing_parameter_raises(self):
+        space = small_space()
+        with pytest.raises(KeyError):
+            space.encode_batch([{"a": 2, "mode": "x"}])
+
+    def test_out_of_range_value_raises(self):
+        space = small_space()
+        with pytest.raises(ValueError):
+            space.encode_batch([{"a": 99, "mode": "x", "flag": False}])
+        with pytest.raises(ValueError):
+            space.encode_batch([{"a": 2, "mode": "nope", "flag": False}])
+
+    def test_nan_value_raises(self):
+        space = ConfigSpace([IntParameter("a", 1, 8)])
+        with pytest.raises(ValueError):
+            space.encode_batch([{"a": float("nan")}])
