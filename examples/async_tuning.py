@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Asynchronous tuning: no round barrier, workers refill the moment they free.
+
+Probe durations in distributed-ML tuning are heterogeneous — a
+misconfigured PS architecture can probe 5x slower than a good all-reduce
+point — so a synchronous round barrier (``ParallelExecutor``) parks K-1
+workers behind each round's straggler.  The ``AsyncExecutor`` removes the
+barrier: each worker pulls a fresh proposal (constant-liar conditioned on
+the probes still in flight) the moment its own probe completes.
+
+This example runs the BO tuner three ways at one trial budget — serial,
+4-way synchronous, 4-way asynchronous — and compares the two cost axes the
+session layer accounts: machine cost (identical per probe in every mode)
+and wall-clock (what the person waiting for a configuration experiences).
+
+Run:  python examples/async_tuning.py
+"""
+
+from repro import MLConfigTuner, TuningBudget
+from repro.cluster import homogeneous
+from repro.configspace import ml_config_space
+from repro.core.session import AsyncExecutor, ParallelExecutor, SerialExecutor
+from repro.harness import render_table
+from repro.mlsim import TrainingEnvironment
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    nodes = 16
+    workers = 4
+    workload = get_workload("resnet50-imagenet")
+    cluster = homogeneous(nodes)
+    space = ml_config_space(nodes)
+    budget = TuningBudget(max_trials=36)
+
+    print(f"Tuning {workload.name} on {nodes} nodes, budget {budget.max_trials} trials")
+
+    executors = {
+        "serial": SerialExecutor(),
+        f"{workers}-way sync": ParallelExecutor(workers),
+        f"{workers}-way async": AsyncExecutor(workers),
+    }
+    results = {}
+    for label, executor in executors.items():
+        results[label] = MLConfigTuner(seed=0).run(
+            TrainingEnvironment(workload, cluster, seed=0),
+            space,
+            budget,
+            seed=0,
+            executor=executor,
+        )
+
+    serial_wall = results["serial"].total_wall_clock_s
+    rows = []
+    for label, result in results.items():
+        wall_s = result.total_wall_clock_s
+        rows.append(
+            [
+                label,
+                result.best_objective,
+                result.total_cost_s / 3600.0,
+                wall_s / 3600.0,
+                serial_wall / wall_s,
+                result.total_cost_s / (executors[label].workers * wall_s),
+            ]
+        )
+    print()
+    print(render_table(
+        ["execution", "best (samples/s)", "machine hours",
+         "wall-clock hours", "wall speedup", "worker utilisation"],
+        rows,
+    ))
+
+    sync = results[f"{workers}-way sync"]
+    asyn = results[f"{workers}-way async"]
+    print(
+        f"\nRemoving the round barrier cut the {workers}-worker session from "
+        f"{sync.total_wall_clock_s / 3600:.2f} to "
+        f"{asyn.total_wall_clock_s / 3600:.2f} wall-clock hours at the same "
+        f"trial budget, and lifted worker utilisation from "
+        f"{sync.total_cost_s / (workers * sync.total_wall_clock_s):.0%} to "
+        f"{asyn.total_cost_s / (workers * asyn.total_wall_clock_s):.0%} — "
+        f"time the barrier spent parked behind each round's slowest probe."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -19,35 +19,41 @@ Quickstart::
     result = MLConfigTuner().run(env, ml_config_space(16), TuningBudget(max_trials=40))
     print(result.best_config)
 
-Parallel tuning
----------------
+Parallel and asynchronous tuning
+--------------------------------
 
 Every strategy runs inside a :class:`~repro.core.session.TuningSession`
 whose executor decides how probes execute.  The default
 ``SerialExecutor`` probes one configuration at a time;
-``ParallelExecutor(workers=K)`` probes K per round (the BO tuner
-diversifies each batch with constant-liar fantasisation) and accounts
-machine cost for every probe but wall-clock only for the slowest probe of
-each round::
+``ParallelExecutor(workers=K)`` probes K per synchronous round (the BO
+tuner diversifies each batch with constant-liar fantasisation);
+``AsyncExecutor(workers=K)`` drops the round barrier — each worker pulls
+a fresh proposal the moment its probe completes, conditioned on the
+probes still in flight.  All executors account machine cost for every
+probe; wall-clock is the round's slowest probe under the barrier, or each
+worker's own timeline without it::
 
-    from repro.core import ParallelExecutor
+    from repro.core import AsyncExecutor
 
     result = MLConfigTuner().run(
         env, ml_config_space(16), TuningBudget(max_trials=40),
-        executor=ParallelExecutor(workers=4),
+        executor=AsyncExecutor(workers=4),
     )
     print(result.total_cost_s, result.total_wall_clock_s)
 
-The CLI exposes the same axis: ``python -m repro tune --workers 4`` probes
-four configurations per round, and ``--trial-log PATH`` streams every
-trial as JSON lines for offline analysis.  The ``P1`` experiment
-(``python -m repro experiment --id P1``) tabulates the wall-clock speedup.
+The CLI exposes the same axes: ``python -m repro tune --workers 4
+--executor async`` probes on a four-worker free-list, ``--max-wall-hours``
+caps the stopwatch (``TuningBudget.max_wall_clock_s``), and ``--trial-log
+PATH`` streams every trial as JSON lines for offline analysis.  The
+``P1``/``P2`` experiments (``python -m repro experiment --id P1``)
+tabulate the sync-vs-async wall-clock speedups and worker utilisation.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
 from repro.core import (
+    AsyncExecutor,
     MLConfigTuner,
     ParallelExecutor,
     SearchStrategy,
@@ -62,6 +68,7 @@ from repro.mlsim import TrainingConfig, TrainingEnvironment
 __version__ = "0.1.0"
 
 __all__ = [
+    "AsyncExecutor",
     "MLConfigTuner",
     "ParallelExecutor",
     "SearchStrategy",

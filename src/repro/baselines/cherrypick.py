@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.configspace import ConfigDict, ConfigSpace
 from repro.core.bo import BayesianProposer
+from repro.core.parallel import propose_async as constant_liar_async
 from repro.core.parallel import propose_batch as constant_liar_batch
 from repro.core.strategy import SearchStrategy
 from repro.core.trial import TrialHistory
@@ -81,6 +82,22 @@ class CherryPick(SearchStrategy):
         batch = constant_liar_batch(self._ensure_proposer(space), history, rng, k)
         self._maybe_stop(history)
         return batch
+
+    def propose_async(
+        self,
+        history: TrialHistory,
+        pending,
+        space: ConfigSpace,
+        rng: np.random.Generator,
+    ) -> ConfigDict:
+        """Constant-liar single proposal over in-flight probes.
+
+        The EI-threshold check runs on the fantasy-extended fit, so an
+        asynchronous session converges on the same signal as a serial one.
+        """
+        config = constant_liar_async(self._ensure_proposer(space), history, pending, rng)
+        self._maybe_stop(history)
+        return config
 
     def _maybe_stop(self, history: TrialHistory) -> None:
         if len(history) < self.min_trials:

@@ -132,6 +132,26 @@ class SuccessiveHalving(SearchStrategy):
             batch.append(self._pending.pop(0))
         return batch
 
+    def propose_async(
+        self,
+        history: TrialHistory,
+        pending: List[ConfigDict],
+        space: ConfigSpace,
+        rng: np.random.Generator,
+    ) -> Optional[ConfigDict]:
+        """One member of the current rung, or ``None`` at a rung boundary.
+
+        Promotion must see the *whole* rung: once every member is launched
+        but rung-mates are still in flight, the strategy waits (returns
+        ``None``) instead of promoting on partial results — which would
+        also push the in-flight members' old-fidelity objectives into the
+        next rung's result set.  While the rung still has unlaunched
+        members they launch freely; they all share one probe length.
+        """
+        if not self._pending and pending:
+            return None
+        return self.propose(history, space, rng)
+
     def measure(self, env: TrainingEnvironment, config: ConfigDict) -> Measurement:
         iterations = max(2, min(self._next_probe_iterations, 4 * env.probe_iterations))
         return env.measure(

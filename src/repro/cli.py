@@ -32,7 +32,7 @@ from repro.baselines import (
 )
 from repro.cluster import homogeneous
 from repro.configspace import ml_config_space
-from repro.core import MLConfigTuner, TuningBudget
+from repro.core import EXECUTOR_MODES, MLConfigTuner, TuningBudget
 from repro.mlsim import TrainingEnvironment
 from repro.workloads import SUITE, get_workload
 
@@ -75,7 +75,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     tune.add_argument(
         "--workers", type=int, default=1,
-        help="configurations probed per round (1 = serial probing)",
+        help="configurations probed concurrently (1 = serial probing)",
+    )
+    tune.add_argument(
+        "--executor", default="sync", choices=list(EXECUTOR_MODES),
+        help="multi-worker execution: 'sync' round barriers or 'async' "
+        "barrier-free (each worker pulls a new proposal when it frees up)",
+    )
+    tune.add_argument(
+        "--max-wall-hours", type=float, default=None, metavar="H",
+        help="additionally cap the session's simulated wall-clock at H hours",
     )
     tune.add_argument(
         "--trial-log", default=None, metavar="PATH",
@@ -107,6 +116,12 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    if args.trials < 1:
+        print("--trials must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_wall_hours is not None and args.max_wall_hours <= 0:
+        print("--max-wall-hours must be positive", file=sys.stderr)
+        return 2
     if args.trial_log:
         log_dir = os.path.dirname(os.path.abspath(args.trial_log))
         if not os.path.isdir(log_dir):
@@ -125,12 +140,15 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     )
     space = ml_config_space(args.nodes)
     strategy = STRATEGIES[args.strategy](args.seed)
-    executor = executor_for(args.workers)
+    executor = executor_for(args.workers, mode=args.executor)
     callbacks = [JsonlTrialLog(args.trial_log)] if args.trial_log else []
+    max_wall_s = (
+        args.max_wall_hours * 3600.0 if args.max_wall_hours is not None else None
+    )
     result = strategy.run(
         env,
         space,
-        TuningBudget(max_trials=args.trials),
+        TuningBudget(max_trials=args.trials, max_wall_clock_s=max_wall_s),
         seed=args.seed,
         executor=executor,
         callbacks=callbacks,
@@ -146,9 +164,14 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         print(f"best     : {-result.best_objective / 3600:.2f} hours to target accuracy")
     print(f"trials   : {result.num_trials} "
           f"({result.total_cost_s / 3600:.2f} simulated machine-hours probing)")
+    mode = "serial" if args.workers == 1 else args.executor
+    shape = (
+        "barrier-free" if mode == "async"
+        else f"{result.history.num_rounds} rounds"
+    )
     print(f"wall     : {result.total_wall_clock_s / 3600:.2f} simulated hours "
           f"({args.workers} worker{'s' if args.workers != 1 else ''}, "
-          f"{result.history.num_rounds} rounds)")
+          f"{mode}, {shape})")
     if args.trial_log:
         print(f"trial log: {args.trial_log}")
     print("configuration:")

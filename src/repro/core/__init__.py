@@ -12,8 +12,10 @@ from repro.core.bo import BayesianProposer
 from repro.core.gp import GaussianProcess, GPFitError
 from repro.core.importance import fit_surrogate, knob_importance, ranked_knobs
 from repro.core.kernels import KERNELS, Kernel, Matern52, RBF, make_kernel
-from repro.core.parallel import propose_batch, run_parallel_round
+from repro.core.parallel import propose_async, propose_batch, run_parallel_round
 from repro.core.session import (
+    AsyncExecutor,
+    EXECUTOR_MODES,
     Executor,
     JsonlTrialLog,
     ParallelExecutor,
@@ -30,6 +32,7 @@ from repro.core.stopping import (
     StoppedStrategy,
     StoppingRule,
     TargetRule,
+    WallClockCapRule,
 )
 from repro.core.strategy import SearchStrategy, TuningBudget, TuningResult
 from repro.core.trial import Trial, TrialHistory
@@ -65,6 +68,9 @@ __all__ = [
     "StoppedStrategy",
     "StoppingRule",
     "TargetRule",
+    "WallClockCapRule",
+    "AsyncExecutor",
+    "EXECUTOR_MODES",
     "Executor",
     "JsonlTrialLog",
     "ParallelExecutor",
@@ -73,6 +79,7 @@ __all__ = [
     "SessionCallback",
     "TuningSession",
     "executor_for",
+    "propose_async",
     "propose_batch",
     "run_parallel_round",
 ]

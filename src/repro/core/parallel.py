@@ -1,4 +1,4 @@
-"""Constant-liar batch proposals — the BO side of parallel probing.
+"""Constant-liar proposals — the BO side of parallel and async probing.
 
 When a cluster has spare machines, a tuner can probe several
 configurations concurrently.  Naively asking the acquisition for its top-k
@@ -9,61 +9,103 @@ because the fantasised observation kills the acquisition around each
 already-chosen point.
 
 This module is the proposal half of the session/executor architecture in
-:mod:`repro.core.session`.  The execution half lives there: a
-:class:`~repro.core.session.TuningSession` drives the budget/history loop
-and a :class:`~repro.core.session.ParallelExecutor` obtains each round's
-batch through :meth:`SearchStrategy.propose_batch` — which
-:class:`~repro.core.tuner.MLConfigTuner` (and the CherryPick baseline)
-implement by calling :func:`propose_batch` here — then probes every
-member, charging machine cost for all of them but wall-clock only for the
-round's slowest probe.
+:mod:`repro.core.session`.  The execution half lives there, in two
+flavours that call into here:
 
-:func:`propose_batch` wraps any :class:`~repro.core.bo.BayesianProposer`
-without modifying it, by feeding it a history extended with fantasy
-trials.  :func:`run_parallel_round` predates the executor layer and is
-kept as a convenience for driving a bare proposer; new code should run a
-``TuningSession`` with a ``ParallelExecutor`` instead.
+- :class:`~repro.core.session.ParallelExecutor` requests a whole round via
+  :meth:`SearchStrategy.propose_batch` → :func:`propose_batch`;
+- :class:`~repro.core.session.AsyncExecutor` requests one point per freed
+  worker via :meth:`SearchStrategy.propose_async` → :func:`propose_async`,
+  fantasising over the configurations still in flight on the other
+  workers.
+
+Both paths share the same lie computation (:func:`_fantasy_lies`) and
+fantasy construction: the fantasy lies about the objective *and* the probe
+cost (a zero cost would poison a cost-aware proposer's cost surrogate),
+and its :class:`~repro.mlsim.Measurement` carries the fantasy's own typed
+configuration, so consumers reading ``measurement.config`` (cost models,
+importance analysis, logs) see the knob values that were actually
+fantasised.
+
+:func:`run_parallel_round` predates the executor layer and is kept as a
+convenience for driving a bare proposer; new code should run a
+``TuningSession`` with a ``ParallelExecutor`` or ``AsyncExecutor`` instead.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.configspace import ConfigDict, ConfigSpace
+from repro.configspace import ConfigDict, ConfigSpace, to_training_config
 from repro.core.bo import BayesianProposer
 from repro.core.trial import TrialHistory
-from repro.mlsim import Measurement, TrainingConfig
+from repro.mlsim import Measurement
+
+#: Probe-cost lie used when the history records no probe at all (or only
+#: zero-cost ones): one simulated minute — any positive value keeps the
+#: log-cost surrogate finite; real costs replace it after the first probe.
+DEFAULT_COST_LIE_S = 60.0
 
 
-def _with_fantasy(
-    history: TrialHistory,
-    space: ConfigSpace,
-    fantasies: List[tuple],
-    cost_lie: float,
-) -> TrialHistory:
-    """A copy of ``history`` extended with (config, lied objective) pairs.
+def _fantasy_lies(history: TrialHistory, lie: str) -> Tuple[Optional[float], float]:
+    """The (objective lie, probe-cost lie) pair for fantasy trials.
 
-    Fantasy trials carry ``cost_lie`` as their probe cost: a zero cost
-    would poison a cost-aware proposer's cost surrogate (log-cost outliers
-    around every fantasised point), so the lie covers both axes.
+    With no successful trial the objective lie is ``None`` — the fantasy
+    is then recorded as a *failed* probe.  Any constant (0.0 included)
+    would fabricate an objective scale the history does not contain; for
+    negated objectives like time-to-accuracy, 0.0 would be *better* than
+    every feasible value, attracting the acquisition toward the in-flight
+    points instead of away from them.
+
+    The cost lie falls back in order: median cost over successful probes;
+    then median over *all* recorded probes (failed probes still burned
+    machine time, so an all-failed history is evidence about cost, not an
+    excuse for a zero-cost fantasy); then :data:`DEFAULT_COST_LIE_S`.
+    Every step requires a *positive* median — a zero-cost fantasy is the
+    surrogate poisoning the lie exists to avoid.
     """
-    extended = TrialHistory()
-    for trial in history.trials:
-        extended.record(trial.config, trial.measurement)
-    for config, lie in fantasies:
-        extended.record(
-            config,
-            Measurement(
-                config=TrainingConfig(),
-                ok=True,
-                fidelity="fantasy",
-                objective=lie,
-                probe_cost_s=cost_lie,
-            ),
+    successes = history.successful()
+    if successes:
+        values = [t.objective for t in successes]
+        lie_value: Optional[float] = (
+            max(values) if lie == "incumbent" else float(np.mean(values))
         )
-    return extended
+    else:
+        lie_value = None
+    cost_lie = 0.0
+    for pool in (successes, history.trials):
+        costs = [t.measurement.probe_cost_s for t in pool]
+        if costs:
+            cost_lie = float(np.median(costs))
+        if cost_lie > 0.0:
+            return lie_value, cost_lie
+    return lie_value, DEFAULT_COST_LIE_S
+
+
+def _append_fantasy(
+    extended: TrialHistory,
+    config: ConfigDict,
+    lie_value: Optional[float],
+    cost_lie: float,
+) -> None:
+    """Record one fantasy trial for ``config`` on the working history.
+
+    A ``None`` lie (no successful trial to lie about) records the fantasy
+    as a failed probe: it still documents that machine time is committed
+    at ``config`` without fabricating an objective value.
+    """
+    extended.record(
+        config,
+        Measurement(
+            config=to_training_config(config),
+            ok=lie_value is not None,
+            fidelity="fantasy",
+            objective=lie_value,
+            probe_cost_s=cost_lie,
+        ),
+    )
 
 
 def propose_batch(
@@ -78,29 +120,52 @@ def propose_batch(
     ``lie`` selects the fantasy value: ``"incumbent"`` (the constant liar —
     conservative, strongly diversifying) or ``"mean"`` (the mean of
     observed objectives — milder).
+
+    One metadata-preserving working copy of the history is built per call
+    (:meth:`TrialHistory.clone`) and fantasies are appended to it
+    incrementally — O(n + k) bookkeeping per round rather than the O(k·n)
+    full replay a per-fantasy rebuild would cost, and the replayed trials
+    keep their round/wall-clock stamps.
     """
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
     if lie not in ("incumbent", "mean"):
         raise ValueError(f"lie must be 'incumbent' or 'mean', got {lie!r}")
 
-    successes = history.successful()
-    if successes:
-        values = [t.objective for t in successes]
-        lie_value = max(values) if lie == "incumbent" else float(np.mean(values))
-        cost_lie = float(np.median([t.measurement.probe_cost_s for t in successes]))
-    else:
-        lie_value = 0.0
-        cost_lie = 0.0
-
+    lie_value, cost_lie = _fantasy_lies(history, lie)
+    extended = history.clone()
     batch: List[ConfigDict] = []
-    fantasies: List[tuple] = []
     for _ in range(batch_size):
-        extended = _with_fantasy(history, proposer.space, fantasies, cost_lie)
         config = proposer.propose(extended, rng)
         batch.append(config)
-        fantasies.append((config, lie_value))
+        _append_fantasy(extended, config, lie_value, cost_lie)
     return batch
+
+
+def propose_async(
+    proposer: BayesianProposer,
+    history: TrialHistory,
+    pending: Sequence[ConfigDict],
+    rng: np.random.Generator,
+    lie: str = "incumbent",
+) -> ConfigDict:
+    """Propose one configuration conditioned on in-flight probes.
+
+    The asynchronous analogue of :func:`propose_batch`: the worker that
+    just freed up needs exactly one point, but the other workers are still
+    probing ``pending`` — fantasising those as constant-liar observations
+    steers the acquisition away from points already being evaluated.  With
+    no pending probes this is a plain sequential proposal.
+    """
+    if lie not in ("incumbent", "mean"):
+        raise ValueError(f"lie must be 'incumbent' or 'mean', got {lie!r}")
+    if not pending:
+        return proposer.propose(history, rng)
+    lie_value, cost_lie = _fantasy_lies(history, lie)
+    extended = history.clone()
+    for config in pending:
+        _append_fantasy(extended, config, lie_value, cost_lie)
+    return proposer.propose(extended, rng)
 
 
 def run_parallel_round(
@@ -118,8 +183,6 @@ def run_parallel_round(
     parallel deployment would see: the caller can divide the round's probe
     cost by ``batch_size`` when modelling wall-clock speedup.
     """
-    from repro.configspace import to_training_config
-
     batch = propose_batch(proposer, history, rng, batch_size)
     trials = []
     for config in batch:

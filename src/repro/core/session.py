@@ -14,7 +14,14 @@ history, and RNG, and delegates *how probes execute* to an
   fantasisation, see :mod:`repro.core.parallel`), every member is probed,
   and the history is charged machine cost for all K probes but wall-clock
   only for the slowest one — the synchronous round barrier a real K-machine
-  deployment pays.
+  deployment pays;
+- :class:`AsyncExecutor` — K workers with **no round barrier**: a
+  simulated event-driven free-list where each worker pulls a fresh
+  proposal (conditioned on the still-in-flight configurations via
+  :meth:`SearchStrategy.propose_async`) the moment its probe completes.
+  Machine cost is identical per probe to the synchronous executors; the
+  wall-clock is each worker's own timeline, so heterogeneous probe
+  durations no longer leave K-1 workers idle behind a round's straggler.
 
 Sessions also emit lifecycle events to :class:`SessionCallback` observers;
 :class:`ProgressLogger` (per-round progress lines) and
@@ -23,8 +30,8 @@ Sessions also emit lifecycle events to :class:`SessionCallback` observers;
 Example
 -------
 >>> from repro.core import MLConfigTuner, TuningBudget
->>> from repro.core.session import ParallelExecutor, TuningSession
->>> session = TuningSession(MLConfigTuner(), executor=ParallelExecutor(4))
+>>> from repro.core.session import AsyncExecutor, TuningSession
+>>> session = TuningSession(MLConfigTuner(), executor=AsyncExecutor(4))
 >>> # result = session.run(env, space, TuningBudget(max_trials=40))
 """
 
@@ -33,6 +40,7 @@ from __future__ import annotations
 import json
 import sys
 from abc import ABC, abstractmethod
+from heapq import heappop, heappush
 from typing import IO, List, Optional, Sequence, TextIO
 
 import numpy as np
@@ -49,6 +57,16 @@ class SessionCallback:
     Hooks fire in a fixed order: ``on_session_start``, then per round
     ``on_trial_start`` for every launched probe, ``on_trial_end`` for every
     recorded trial, ``on_round_end`` once, and finally ``on_session_end``.
+
+    Under an :class:`AsyncExecutor` there is no round barrier:
+    ``on_trial_start`` fires at *launch* (its ``index`` is the launch
+    ordinal) while ``on_trial_end`` fires at *completion* (the recorded
+    :attr:`Trial.index` is the completion ordinal), so a cheap probe
+    launched late can end before an expensive probe launched early, and a
+    probe still in flight when the session stops gets a start event with
+    no matching end (it was cancelled at the budget boundary).  Pair a
+    start event with its end event through :attr:`Trial.launch_index`,
+    never by ``Trial.index``.
     """
 
     def on_session_start(
@@ -156,14 +174,21 @@ class JsonlTrialLog(SessionCallback):
                 "environment": env.describe(),
                 "budget_trials": budget.max_trials,
                 "budget_cost_s": budget.max_cost_s,
+                "budget_wall_clock_s": budget.max_wall_clock_s,
             }
         )
 
     def on_trial_end(self, trial: Trial) -> None:
+        if self._handle is None:
+            # Same guard as on_session_end: a trial event with no session
+            # open would lazily reopen the file in "w" mode and truncate a
+            # previously completed session's log.
+            return
         self._write(
             {
                 "event": "trial",
                 "index": trial.index,
+                "launch": trial.launch_index,
                 "round": trial.round_index,
                 "config": trial.config,
                 "ok": trial.ok,
@@ -175,6 +200,12 @@ class JsonlTrialLog(SessionCallback):
         )
 
     def on_session_end(self, result: TuningResult) -> None:
+        if self._handle is None:
+            # No session is open: the callback was attached to a session
+            # that aborted before on_session_start, or session_end fired
+            # twice.  Writing would lazily reopen the file in "w" mode and
+            # truncate the log to a lone session_end record.
+            return
         best = result.best_objective
         self._write(
             {
@@ -193,6 +224,24 @@ class Executor(ABC):
     """How one round of probes executes against the environment."""
 
     workers: int = 1
+
+    def reset(self) -> None:
+        """Hook: clear per-session state (called at the start of every run).
+
+        Stateful executors (the async free-list) must override this so a
+        reused instance does not leak in-flight probes or worker timelines
+        from a previous session.
+        """
+
+    def has_pending(self) -> bool:
+        """Hook: True while launched-but-unrecorded probes are in flight.
+
+        The session keeps calling :meth:`run_round` to drain them after
+        the strategy finishes (their measurements exist and their machine
+        time was spent — discarding them would under-report the session);
+        only budget exhaustion cancels pending probes outright.
+        """
+        return False
 
     @abstractmethod
     def run_round(
@@ -281,22 +330,172 @@ class ParallelExecutor(Executor):
             trials.append(trial)
             # A cost-bounded budget stops mid-round (remaining members are
             # cancelled), capping overshoot at one probe — as in serial.
-            if budget.exhausted(history):
+            # A wall-clock cap deliberately does NOT cancel mid-round: the
+            # whole batch launched at the round start, before the cap could
+            # gate anything, and members record in batch order rather than
+            # completion order — cancelling on the running wall total would
+            # drop probes that physically completed before the cap whenever
+            # a slow member happens to record first.  The cap instead stops
+            # the session at the round boundary (the loop's budget check).
+            if (
+                budget.max_cost_s is not None
+                and history.total_cost_s >= budget.max_cost_s
+            ):
                 break
         return trials
 
 
-def executor_for(workers: int) -> Executor:
-    """The executor for a worker count: serial for 1, parallel otherwise.
+class AsyncExecutor(Executor):
+    """Barrier-free K-worker probing: a simulated event-driven free-list.
 
-    ``workers=1`` deliberately maps to :class:`SerialExecutor` rather than
-    ``ParallelExecutor(1)``: the serial path goes through :meth:`propose`
-    and is guaranteed seed-identical to the pre-session loop, while the
-    parallel path routes through ``propose_batch``.
+    Each worker holds one in-flight (configuration, completion-time) slot.
+    A ``run_round`` call is one *event step*: first every free worker is
+    filled — the strategy supplies each launch through
+    :meth:`SearchStrategy.propose_async`, conditioned on the
+    configurations still pending on the other workers (the BO tuner
+    fantasises them with the constant liar) — then the earliest in-flight
+    probe completes, is recorded and observed, and its worker rejoins the
+    free list at that completion time, ready for the next step's refill.
+
+    Accounting matches the synchronous executors probe-for-probe on the
+    machine-cost axis (every probe second is billed) but the wall-clock is
+    each worker's own timeline: the session clock advances to each
+    completion in order, so the final ``total_wall_clock_s`` is the
+    makespan of the greedy schedule — never worse than the synchronous
+    round barrier for the same probe sequence, and strictly better
+    whenever probe durations are heterogeneous enough that a round's
+    stragglers would have idled the other workers.
+
+    Launch gating near the budget: no probe is launched beyond
+    ``max_trials``, past the point where committed machine cost (recorded
+    plus in-flight) reaches ``max_cost_s``, or with a start time at or
+    past ``max_wall_clock_s``.  When the *strategy* finishes (grid
+    exhausted, EI threshold) the in-flight probes drain to completion and
+    are recorded; only *budget* exhaustion cancels them outright (start
+    event without end event), mirroring the synchronous executor's
+    cancellation of a round's unprobed remainder.
+
+    Trials are recorded in *completion* order: :attr:`Trial.index` is the
+    completion ordinal while ``on_trial_start`` carries the launch
+    ordinal, and each trial's round is its own event step (``num_rounds``
+    equals the number of completions).
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.reset()
+
+    def reset(self) -> None:
+        # Per-session state: free workers (by the time they freed up), the
+        # in-flight heap of (completion_s, launch ordinal, config,
+        # measurement), and the launch counter the budget gate checks.
+        self._free_at: List[float] = [0.0] * self.workers
+        self._in_flight: List[tuple] = []
+        self._launched = 0
+
+    def has_pending(self) -> bool:
+        return bool(self._in_flight)
+
+    def _pending_configs(self) -> List[ConfigDict]:
+        """In-flight configurations, in launch order."""
+        return [entry[2] for entry in sorted(self._in_flight, key=lambda e: e[1])]
+
+    def _may_launch(
+        self,
+        start_s: float,
+        strategy: SearchStrategy,
+        history: TrialHistory,
+        space: ConfigSpace,
+        budget: TuningBudget,
+    ) -> bool:
+        if strategy.finished(history, space):
+            return False
+        if budget.max_trials is not None and self._launched >= budget.max_trials:
+            return False
+        if budget.max_wall_clock_s is not None and start_s >= budget.max_wall_clock_s:
+            return False
+        if budget.max_cost_s is not None:
+            committed = history.total_cost_s + sum(
+                entry[3].probe_cost_s for entry in self._in_flight
+            )
+            if committed >= budget.max_cost_s:
+                return False
+        return True
+
+    def run_round(self, strategy, env, space, history, rng, budget, events):
+        # Fill every free worker, earliest-free first, so each launch is
+        # conditioned on exactly the trials completed by its start time.
+        while self._free_at:
+            free_s = min(self._free_at)
+            # A worker can sit idle past its free-time while launches are
+            # gated — a stopping rule may un-finish when a draining probe
+            # records a success (e.g. FailureStreakRule).  It re-launches
+            # at the current session clock, never in the past, keeping
+            # completion stamps monotone.
+            start_s = max(free_s, history.total_wall_clock_s)
+            if not self._may_launch(start_s, strategy, history, space, budget):
+                break
+            config = strategy.propose_async(
+                history, self._pending_configs(), space, rng
+            )
+            if config is None:
+                # The strategy declines to launch until in-flight results
+                # land (e.g. a rung boundary); the worker stays free.
+                break
+            self._free_at.remove(free_s)
+            events.trial_start(self._launched, config)
+            measurement = strategy.measure(env, config)
+            heappush(
+                self._in_flight,
+                (
+                    start_s + max(0.0, measurement.probe_cost_s),
+                    self._launched,
+                    config,
+                    measurement,
+                ),
+            )
+            self._launched += 1
+        if not self._in_flight:
+            return []
+        completion_s, launch_ordinal, config, measurement = heappop(self._in_flight)
+        self._free_at.append(completion_s)
+        # Events drain in completion order, so the session clock only ever
+        # advances; each trial's stamp is its physical completion time.
+        trial = history.record(
+            config,
+            measurement,
+            wall_clock_s=max(0.0, completion_s - history.total_wall_clock_s),
+            completed_at_wall_s=completion_s,
+            launch_index=launch_ordinal,
+        )
+        strategy.observe(trial)
+        events.trial_end(trial)
+        return [trial]
+
+
+EXECUTOR_MODES = ("sync", "async")
+
+
+def executor_for(workers: int, mode: str = "sync") -> Executor:
+    """The executor for a worker count and execution mode.
+
+    ``workers=1`` deliberately maps to :class:`SerialExecutor` in *both*
+    modes: with one worker there is no barrier to remove, and the serial
+    path goes through :meth:`propose` and is guaranteed seed-identical to
+    the pre-session loop, while the multi-worker paths route through
+    ``propose_batch`` / ``propose_async``.  With K > 1, ``"sync"`` builds
+    the round-barrier :class:`ParallelExecutor` and ``"async"`` the
+    barrier-free :class:`AsyncExecutor`.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
-    return SerialExecutor() if workers == 1 else ParallelExecutor(workers)
+    if mode not in EXECUTOR_MODES:
+        raise ValueError(f"mode must be one of {EXECUTOR_MODES}, got {mode!r}")
+    if workers == 1:
+        return SerialExecutor()
+    return AsyncExecutor(workers) if mode == "async" else ParallelExecutor(workers)
 
 
 class TuningSession:
@@ -331,10 +530,17 @@ class TuningSession:
         history = TrialHistory()
         events = _Events(self.callbacks)
         self.strategy.reset()
+        self.executor.reset()
         events.session_start(self.strategy, env, space, budget)
-        while not budget.exhausted(history) and not self.strategy.finished(
-            history, space
-        ):
+        while not budget.exhausted(history):
+            # A finished strategy launches nothing new, but probes already
+            # in flight drain to completion — their machine time is spent
+            # and their measurements exist.  Budget exhaustion, by
+            # contrast, cancels pending probes (the loop condition above).
+            if self.strategy.finished(history, space) and not (
+                self.executor.has_pending()
+            ):
+                break
             trials = self.executor.run_round(
                 self.strategy, env, space, history, rng, budget, events
             )

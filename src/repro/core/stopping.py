@@ -103,6 +103,28 @@ class CostCapRule(StoppingRule):
         return f"probe cost cap {self.max_cost_s:.0f}s reached"
 
 
+class WallClockCapRule(StoppingRule):
+    """Stop once session wall-clock exceeds a cap (simulated seconds).
+
+    The stopwatch axis: under parallel or asynchronous execution this is
+    the cap a person waiting on the tuning session would set, as opposed
+    to :class:`CostCapRule`'s cluster bill.  Redundant with
+    ``TuningBudget.max_wall_clock_s`` when used alone; provided so
+    wall-clock caps compose with other rules in one place.
+    """
+
+    def __init__(self, max_wall_clock_s: float) -> None:
+        if max_wall_clock_s <= 0:
+            raise ValueError("max_wall_clock_s must be positive")
+        self.max_wall_clock_s = max_wall_clock_s
+
+    def should_stop(self, history: TrialHistory) -> bool:
+        return history.total_wall_clock_s >= self.max_wall_clock_s
+
+    def reason(self) -> str:
+        return f"wall-clock cap {self.max_wall_clock_s:.0f}s reached"
+
+
 class FailureStreakRule(StoppingRule):
     """Stop after ``streak`` consecutive crashed probes.
 
@@ -154,6 +176,15 @@ class StoppedStrategy(SearchStrategy):
         self, history: TrialHistory, space: ConfigSpace, rng: np.random.Generator, k: int
     ) -> List[ConfigDict]:
         return self.inner.propose_batch(history, space, rng, k)
+
+    def propose_async(
+        self,
+        history: TrialHistory,
+        pending: Sequence[ConfigDict],
+        space: ConfigSpace,
+        rng: np.random.Generator,
+    ) -> Optional[ConfigDict]:
+        return self.inner.propose_async(history, pending, space, rng)
 
     def observe(self, trial) -> None:
         self.inner.observe(trial)

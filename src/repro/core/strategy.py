@@ -25,26 +25,41 @@ class TuningBudget:
     """Caps on a tuning session.
 
     ``max_trials`` bounds the number of probes; ``max_cost_s`` bounds the
-    cumulative *simulated* probe cost (machine time).  Either may be None
-    (unbounded), but not both.
+    cumulative *simulated* probe cost (machine time, all workers summed);
+    ``max_wall_clock_s`` bounds the session's simulated wall-clock — the
+    axis asynchronous execution actually optimises, since K workers can
+    burn machine-seconds K times faster than the stopwatch advances.  Any
+    cap may be None (unbounded), but at least one must be set.
     """
 
     max_trials: Optional[int] = 40
     max_cost_s: Optional[float] = None
+    max_wall_clock_s: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.max_trials is None and self.max_cost_s is None:
-            raise ValueError("budget must bound trials or cost")
+        if (
+            self.max_trials is None
+            and self.max_cost_s is None
+            and self.max_wall_clock_s is None
+        ):
+            raise ValueError("budget must bound trials, cost, or wall-clock")
         if self.max_trials is not None and self.max_trials < 1:
             raise ValueError("max_trials must be >= 1")
         if self.max_cost_s is not None and self.max_cost_s <= 0:
             raise ValueError("max_cost_s must be positive")
+        if self.max_wall_clock_s is not None and self.max_wall_clock_s <= 0:
+            raise ValueError("max_wall_clock_s must be positive")
 
     def exhausted(self, history: TrialHistory) -> bool:
         """True once another probe would exceed the budget."""
         if self.max_trials is not None and len(history) >= self.max_trials:
             return True
         if self.max_cost_s is not None and history.total_cost_s >= self.max_cost_s:
+            return True
+        if (
+            self.max_wall_clock_s is not None
+            and history.total_wall_clock_s >= self.max_wall_clock_s
+        ):
             return True
         return False
 
@@ -130,6 +145,35 @@ class SearchStrategy(ABC):
         if k < 1:
             raise ValueError("k must be >= 1")
         return [self.propose(history, space, rng) for _ in range(k)]
+
+    def propose_async(
+        self,
+        history: TrialHistory,
+        pending: Sequence[ConfigDict],
+        space: ConfigSpace,
+        rng: np.random.Generator,
+    ) -> Optional[ConfigDict]:
+        """Hook: one configuration for a worker that just freed up.
+
+        ``pending`` holds the configurations still in flight on the other
+        workers (launch order) so model-based strategies can condition on
+        them — the BO tuner fantasises them away with the constant liar
+        (:func:`repro.core.parallel.propose_async`), which keeps an
+        asynchronous session from re-proposing a point already running.
+
+        Returning ``None`` declines to launch for now: the executor leaves
+        the worker idle until the next in-flight probe completes and asks
+        again.  Strategies whose structure gates on complete cohorts use
+        this — successive halving refuses to cross a rung boundary while
+        rung-mates are still in flight, since promotion must see the whole
+        rung.
+
+        The default ignores ``pending`` and delegates to :meth:`propose`,
+        which is correct for stateless samplers and for pure cursor
+        strategies like grid: the cursor already moved past the pending
+        points, so a plain ``propose`` never duplicates them.
+        """
+        return self.propose(history, space, rng)
 
     def observe(self, trial: Trial) -> None:
         """Hook: called after each probe (for stateful strategies)."""

@@ -32,6 +32,12 @@ class Trial:
     parallel probing that is its round's start plus its own probe cost,
     so round-mates carry different stamps and the stamp of a cheap probe
     is independent of slower round-mates.
+
+    ``launch_index`` is the ordinal at which the probe was *launched* —
+    the index ``on_trial_start`` fired with.  Under the synchronous
+    executors it equals ``index``; under asynchronous execution trials
+    are recorded in completion order, so it is the key that correlates a
+    trial with its start event.
     """
 
     index: int
@@ -40,6 +46,7 @@ class Trial:
     cumulative_cost_s: float
     round_index: int = 0
     cumulative_wall_clock_s: float = 0.0
+    launch_index: int = 0
 
     @property
     def ok(self) -> bool:
@@ -68,6 +75,7 @@ class TrialHistory:
         wall_clock_s: Optional[float] = None,
         round_index: Optional[int] = None,
         completed_at_wall_s: Optional[float] = None,
+        launch_index: Optional[int] = None,
     ) -> Trial:
         """Append a trial, accumulating its probe cost and wall-clock.
 
@@ -79,7 +87,8 @@ class TrialHistory:
         trial's own probe cost — so stamps are physical completion times,
         independent of batch order; within a round they are not monotone
         in trial index.  ``round_index`` defaults to a fresh round per
-        trial.
+        trial.  ``launch_index`` defaults to the recording index (launch
+        and completion order coincide outside async execution).
         """
         if wall_clock_s is None:
             wall_clock_s = measurement.probe_cost_s
@@ -98,9 +107,27 @@ class TrialHistory:
                 if completed_at_wall_s is not None
                 else self.total_wall_clock_s
             ),
+            launch_index=(
+                launch_index if launch_index is not None else len(self._trials)
+            ),
         )
         self._trials.append(trial)
         return trial
+
+    def clone(self) -> "TrialHistory":
+        """A metadata-preserving copy sharing the (frozen) trial records.
+
+        Unlike replaying trials through :meth:`record`, the clone keeps
+        every trial's ``round_index`` and wall-clock stamps and both
+        running totals bit-identical.  :class:`Trial` is frozen, so
+        sharing the records is safe; appending to the clone never touches
+        the original.
+        """
+        copy = TrialHistory()
+        copy._trials = list(self._trials)
+        copy.total_cost_s = self.total_cost_s
+        copy.total_wall_clock_s = self.total_wall_clock_s
+        return copy
 
     @property
     def num_rounds(self) -> int:

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.configspace import ConfigDict, ConfigSpace, to_training_config
 from repro.core.bo import BayesianProposer
+from repro.core.parallel import propose_async as constant_liar_async
 from repro.core.parallel import propose_batch as constant_liar_batch
 from repro.core.strategy import SearchStrategy
 from repro.core.trial import TrialHistory
@@ -153,6 +154,18 @@ class MLConfigTuner(SearchStrategy):
         """Constant-liar batch: k diverse points for parallel probing."""
         return constant_liar_batch(
             self._ensure_proposer(space), history, rng, k, lie=self.batch_lie
+        )
+
+    def propose_async(
+        self,
+        history: TrialHistory,
+        pending,
+        space: ConfigSpace,
+        rng: np.random.Generator,
+    ) -> ConfigDict:
+        """One point for a freed worker, constant-lying over in-flight probes."""
+        return constant_liar_async(
+            self._ensure_proposer(space), history, pending, rng, lie=self.batch_lie
         )
 
     def observe(self, trial) -> None:

@@ -92,6 +92,7 @@ def compare_strategies(
     env_seed: int = 0,
     seed: int = 0,
     workers: int = 1,
+    executor_mode: str = "sync",
 ) -> Comparison:
     """Run every strategy ``repeats`` times and aggregate.
 
@@ -100,17 +101,19 @@ def compare_strategies(
     compared on an identical problem instance, the simulation analogue of
     benchmarking tuners against one physical deployment.
 
-    ``workers`` selects the execution axis: 1 probes serially (the seed
-    semantics), K > 1 probes K configurations per round through a
-    :class:`~repro.core.session.ParallelExecutor` and the outcomes carry
-    the corresponding wall-clock accounting.
+    ``workers`` × ``executor_mode`` select the execution axis: one worker
+    probes serially (the seed semantics); K > 1 with ``"sync"`` probes K
+    configurations per round through a
+    :class:`~repro.core.session.ParallelExecutor`, with ``"async"``
+    through a barrier-free :class:`~repro.core.session.AsyncExecutor` —
+    the outcomes carry the corresponding wall-clock accounting.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
     if workers < 1:
         raise ValueError("workers must be >= 1")
     space = space or ml_config_space(cluster.total_nodes)
-    executor = executor_for(workers)
+    executor = executor_for(workers, mode=executor_mode)
 
     reference_env = TrainingEnvironment(
         workload, cluster, seed=env_seed, fidelity="analytic", objective_name=objective

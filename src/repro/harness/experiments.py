@@ -250,7 +250,12 @@ def exp_f1_surface(
 # ---------------------------------------------------------------------------
 
 def _core_comparisons(
-    nodes: int, budget_trials: int, repeats: int, seed: int
+    nodes: int,
+    budget_trials: int,
+    repeats: int,
+    seed: int,
+    workers: int = 1,
+    executor_mode: str = "sync",
 ) -> Dict[str, Comparison]:
     def compute() -> Dict[str, Comparison]:
         cluster = homogeneous(nodes)
@@ -263,10 +268,15 @@ def _core_comparisons(
                 TuningBudget(max_trials=budget_trials),
                 repeats=repeats,
                 seed=seed,
+                workers=workers,
+                executor_mode=executor_mode,
             )
         return comparisons
 
-    return _memoised(("core-comparisons", nodes, budget_trials, repeats, seed), compute)
+    return _memoised(
+        ("core-comparisons", nodes, budget_trials, repeats, seed, workers, executor_mode),
+        compute,
+    )
 
 
 def exp_f2_convergence(
@@ -304,10 +314,23 @@ def exp_f2_convergence(
 
 
 def exp_f3_search_cost(
-    nodes: int = 16, budget_trials: int = 36, repeats: int = 2, seed: int = 0
+    nodes: int = 16,
+    budget_trials: int = 36,
+    repeats: int = 2,
+    seed: int = 0,
+    workers: int = 1,
+    executor_mode: str = "sync",
 ) -> ExperimentTable:
-    """Trials and simulated hours to reach within 5%/10% of the optimum."""
-    comparisons = _core_comparisons(nodes, budget_trials, repeats, seed)
+    """Trials and simulated hours to reach within 5%/10% of the optimum.
+
+    ``workers`` × ``executor_mode`` select the execution axis: the default
+    is the seed's serial probing; with K workers the table additionally
+    reports the wall-clock hours the chosen executor (round-barrier sync
+    or barrier-free async) actually takes.
+    """
+    comparisons = _core_comparisons(
+        nodes, budget_trials, repeats, seed, workers, executor_mode
+    )
     rows = []
     for workload_name, comparison in comparisons.items():
         for name, outcome in comparison.outcomes.items():
@@ -323,11 +346,15 @@ def exp_f3_search_cost(
                     outcome.reach_rate("5pct"),
                     float(np.mean(cost_5)) / 3600.0 if cost_5 else None,
                     outcome.mean_total_cost_s / 3600.0,
+                    outcome.mean_total_wall_clock_s / 3600.0,
                 ]
             )
+    execution = (
+        "serial" if workers == 1 else f"{workers}-worker {executor_mode}"
+    )
     return ExperimentTable(
         exp_id="F3",
-        title="Search cost to reach near-optimal configurations",
+        title=f"Search cost to reach near-optimal configurations ({execution})",
         headers=[
             "workload",
             "strategy",
@@ -338,6 +365,7 @@ def exp_f3_search_cost(
             "reach@5%",
             "hours→5%",
             "total probe hours",
+            "wall-clock hours",
         ],
         rows=rows,
     )
@@ -352,10 +380,20 @@ def exp_f4_tta(
     budget_trials: int = 30,
     seed: int = 0,
     workload_names: Sequence[str] = ("resnet50-imagenet", "lstm-ptb"),
+    workers: int = 1,
+    executor_mode: str = "sync",
 ) -> ExperimentTable:
-    """Tuning for time-to-accuracy instead of throughput."""
+    """Tuning for time-to-accuracy instead of throughput.
+
+    The search-cost column pair reports both axes the session layer
+    accounts: machine hours (the cluster bill, identical per probe across
+    executors) and wall-clock hours under the selected ``workers`` ×
+    ``executor_mode`` execution.
+    """
 
     def compute() -> List[List[Any]]:
+        from repro.core.session import executor_for
+
         rows = []
         cluster = homogeneous(nodes)
         space = ml_config_space(nodes)
@@ -369,6 +407,7 @@ def exp_f4_tta(
                 space,
                 TuningBudget(max_trials=budget_trials),
                 seed=seed,
+                executor=executor_for(workers, mode=executor_mode),
             )
             default = default_strategy().run(
                 TrainingEnvironment(**env_args), space, TuningBudget(max_trials=1), seed=seed
@@ -380,6 +419,7 @@ def exp_f4_tta(
             default_tta = -default.best_objective / 3600.0
             expert_tta = -expert.best_objective / 3600.0
             search_hours = tuned.total_cost_s / 3600.0
+            wall_hours = tuned.total_wall_clock_s / 3600.0
             rows.append(
                 [
                     name,
@@ -389,15 +429,28 @@ def exp_f4_tta(
                     default_tta / tuned_tta,
                     expert_tta / tuned_tta,
                     search_hours,
-                    (default_tta - tuned_tta) > search_hours,
+                    wall_hours,
+                    (default_tta - tuned_tta) > wall_hours,
                 ]
             )
         return rows
 
-    rows = _memoised(("f4", nodes, budget_trials, seed, tuple(workload_names)), compute)
+    rows = _memoised(
+        (
+            "f4",
+            nodes,
+            budget_trials,
+            seed,
+            tuple(workload_names),
+            workers,
+            executor_mode,
+        ),
+        compute,
+    )
+    execution = "serial" if workers == 1 else f"{workers}-worker {executor_mode}"
     return ExperimentTable(
         exp_id="F4",
-        title="Time-to-accuracy: tuned vs default vs expert (hours)",
+        title=f"Time-to-accuracy: tuned vs default vs expert (hours, {execution})",
         headers=[
             "workload",
             "default TTA h",
@@ -405,7 +458,8 @@ def exp_f4_tta(
             "tuned TTA h",
             "TTA speedup vs default",
             "vs expert",
-            "search cost h",
+            "search machine h",
+            "search wall h",
             "search pays off in 1 run",
         ],
         rows=rows,
@@ -550,24 +604,20 @@ def exp_f6_sync_crossover(
 # P1: parallel-probing wall-clock speedup (session/executor layer)
 # ---------------------------------------------------------------------------
 
-def exp_p1_parallel_speedup(
-    nodes: int = 16,
-    budget_trials: int = 36,
-    seed: int = 0,
-    workload_name: str = "resnet50-imagenet",
-    worker_counts: Sequence[int] = (1, 2, 4, 8),
-) -> ExperimentTable:
-    """Wall-clock to tune with K-way parallel probing vs serial.
+def _mode_sweep(
+    nodes: int,
+    budget_trials: int,
+    seed: int,
+    workload_name: str,
+    worker_counts: Sequence[int],
+) -> Dict[tuple, Any]:
+    """BO-tuner results per (workers, mode) at one trial budget (memoised).
 
-    Every row runs the BO tuner under the same trial budget through a
-    ``ParallelExecutor(workers=K)`` (K=1 is the serial seed semantics).
-    Machine cost sums every probe second; wall-clock charges only the
-    slowest probe of each synchronous round.  ``h→serial best`` is the
-    wall-clock hours until the session first matches the serial run's
-    final incumbent — the paper-style "time to equal quality" axis.
+    ``workers=1`` is serial under both modes and is run once, keyed as
+    ``(1, "sync")``.
     """
 
-    def compute() -> List[List[Any]]:
+    def compute() -> Dict[tuple, Any]:
         from repro.core.session import executor_for
 
         workload = get_workload(workload_name)
@@ -575,50 +625,177 @@ def exp_p1_parallel_speedup(
         space = ml_config_space(nodes)
         budget = TuningBudget(max_trials=budget_trials)
 
-        def run(workers: int):
+        def run(workers: int, mode: str):
             env = TrainingEnvironment(workload, cluster, seed=seed)
             return MLConfigTuner(seed=seed).run(
-                env, space, budget, seed=seed, executor=executor_for(workers)
+                env, space, budget, seed=seed, executor=executor_for(workers, mode)
             )
 
-        results = {workers: run(workers) for workers in worker_counts}
-        serial = results.get(1) or run(1)
+        results = {}
+        for workers in sorted(set(worker_counts)):
+            modes = ("sync",) if workers == 1 else ("sync", "async")
+            for mode in modes:
+                results[(workers, mode)] = run(workers, mode)
+        return results
+
+    return _memoised(
+        ("mode-sweep", nodes, budget_trials, seed, workload_name,
+         tuple(sorted(set(worker_counts)))),
+        compute,
+    )
+
+
+def exp_p1_parallel_speedup(
+    nodes: int = 16,
+    budget_trials: int = 36,
+    seed: int = 0,
+    workload_name: str = "resnet50-imagenet",
+    worker_counts: Sequence[int] = (1, 2, 4, 8),
+) -> ExperimentTable:
+    """Wall-clock to tune with K workers: synchronous vs asynchronous.
+
+    Every row runs the BO tuner under the same trial budget with K workers
+    in both execution modes (K=1 is the serial seed semantics, where the
+    modes coincide).  Machine cost sums every probe second and is the same
+    axis in either mode; wall-clock charges the slowest probe of each
+    round under the sync barrier but only each worker's own timeline under
+    async — both speedup columns normalise by the serial wall-clock.
+    ``h→serial best`` is the wall-clock hours until each session first
+    matches the serial run's final incumbent — the paper-style "time to
+    equal quality" axis that keeps a fast-but-worse run from looking
+    strictly better.
+    """
+
+    def compute() -> List[List[Any]]:
+        results = _mode_sweep(nodes, budget_trials, seed, workload_name, worker_counts)
+        serial = results.get((1, "sync"))
+        if serial is None:
+            serial = _mode_sweep(nodes, budget_trials, seed, workload_name, (1,))[
+                (1, "sync")
+            ]
+        serial_wall = serial.total_wall_clock_s
         serial_best = serial.best_objective or 0.0
-        rows = []
-        for workers, result in sorted(results.items()):
+
+        def reach_h(result):
             reach = result.history.wall_clock_to_reach(serial_best)
+            return reach / 3600.0 if reach is not None else None
+
+        rows = []
+        for workers in sorted(set(worker_counts)):
+            sync = results[(workers, "sync")]
+            asyn = results.get((workers, "async"), sync)
             rows.append(
                 [
                     workers,
-                    result.best_objective,
-                    result.history.num_rounds,
-                    result.total_cost_s / 3600.0,
-                    result.total_wall_clock_s / 3600.0,
-                    serial.total_wall_clock_s / result.total_wall_clock_s,
-                    reach / 3600.0 if reach is not None else None,
+                    sync.best_objective,
+                    asyn.best_objective,
+                    sync.total_cost_s / 3600.0,
+                    asyn.total_cost_s / 3600.0,
+                    sync.total_wall_clock_s / 3600.0,
+                    asyn.total_wall_clock_s / 3600.0,
+                    serial_wall / sync.total_wall_clock_s,
+                    serial_wall / asyn.total_wall_clock_s,
+                    reach_h(sync),
+                    reach_h(asyn),
                 ]
             )
         return rows
 
     rows = _memoised(
-        ("p1", nodes, budget_trials, seed, workload_name, tuple(worker_counts)),
+        ("p1", "v3", nodes, budget_trials, seed, workload_name, tuple(worker_counts)),
         compute,
     )
     return ExperimentTable(
         exp_id="P1",
-        title=f"Parallel probing: wall-clock vs workers — {workload_name}, "
+        title=f"Parallel probing: sync vs async wall-clock — {workload_name}, "
         f"{budget_trials} trials",
         headers=[
             "workers",
-            "best (smp/s)",
-            "rounds",
-            "machine hours",
-            "wall-clock hours",
-            "wall speedup",
-            "h→serial best",
+            "sync best",
+            "async best",
+            "sync machine h",
+            "async machine h",
+            "sync wall-clock hours",
+            "async wall-clock hours",
+            "sync wall speedup",
+            "async wall speedup",
+            "sync h→serial best",
+            "async h→serial best",
         ],
         rows=rows,
-        notes="wall-clock to serial quality shrinks with K; the wider batches spend extra machine-hours exploring",
+        notes="async removes the round barrier: same machine bill per probe, "
+        "wall-clock bounded by each worker's own timeline instead of the "
+        "round's slowest probe; h→serial best is wall-clock to first match "
+        "the serial incumbent",
+    )
+
+
+# ---------------------------------------------------------------------------
+# P2: async executor — worker utilisation vs the round barrier
+# ---------------------------------------------------------------------------
+
+def exp_p2_async_speedup(
+    nodes: int = 16,
+    budget_trials: int = 36,
+    seed: int = 0,
+    workload_name: str = "resnet50-imagenet",
+    worker_counts: Sequence[int] = (2, 4, 8),
+) -> ExperimentTable:
+    """Barrier cost in detail: utilisation and idle time per (K, mode).
+
+    One row per worker count and execution mode.  ``utilisation`` is the
+    fraction of the session's worker-seconds spent probing
+    (``machine / (K × wall)``); the complement is idle time — under the
+    sync barrier, workers parked behind each round's slowest probe, which
+    the async free-list reclaims by refilling every worker the moment its
+    probe completes.
+    """
+
+    def compute() -> List[List[Any]]:
+        results = _mode_sweep(nodes, budget_trials, seed, workload_name, worker_counts)
+        rows = []
+        for workers in sorted(set(worker_counts)):
+            # One worker is serial in every mode — one honestly-labelled row.
+            modes = ("serial",) if workers == 1 else ("sync", "async")
+            for mode in modes:
+                result = results[(workers, "sync" if workers == 1 else mode)]
+                wall_s = result.total_wall_clock_s
+                utilisation = (
+                    result.total_cost_s / (workers * wall_s) if wall_s > 0 else None
+                )
+                rows.append(
+                    [
+                        workers,
+                        mode,
+                        result.best_objective,
+                        result.total_cost_s / 3600.0,
+                        wall_s / 3600.0,
+                        utilisation,
+                        1.0 - utilisation if utilisation is not None else None,
+                    ]
+                )
+        return rows
+
+    rows = _memoised(
+        ("p2", nodes, budget_trials, seed, workload_name, tuple(worker_counts)),
+        compute,
+    )
+    return ExperimentTable(
+        exp_id="P2",
+        title=f"Async probing: worker utilisation vs the round barrier — "
+        f"{workload_name}, {budget_trials} trials",
+        headers=[
+            "workers",
+            "mode",
+            "best (smp/s)",
+            "machine hours",
+            "wall-clock hours",
+            "utilisation",
+            "idle fraction",
+        ],
+        rows=rows,
+        notes="idle fraction is worker-time parked behind the sync round "
+        "barrier; async reclaims it by refilling each worker on completion",
     )
 
 
@@ -998,6 +1175,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., Any]] = {
     "F5": exp_f5_scalability,
     "F6": exp_f6_sync_crossover,
     "P1": exp_p1_parallel_speedup,
+    "P2": exp_p2_async_speedup,
     "A1": exp_a1_acquisition,
     "A2": exp_a2_early_termination,
     "A3": exp_a3_warmstart,

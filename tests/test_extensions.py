@@ -207,6 +207,36 @@ class TestCli:
         assert code == 0
         assert "hours to target accuracy" in capsys.readouterr().out
 
+    def test_tune_async_executor(self, capsys):
+        code = cli_main(
+            [
+                "tune", "--workload", "lstm-ptb", "--nodes", "4",
+                "--trials", "8", "--strategy", "random",
+                "--workers", "4", "--executor", "async",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "async" in out
+        assert "barrier-free" in out
+
+    def test_tune_rejects_nonpositive_trials(self, capsys):
+        """Regression: --trials 0 used to crash with a raw ValueError."""
+        for trials in ("0", "-3"):
+            code = cli_main(
+                ["tune", "--workload", "lstm-ptb", "--trials", trials]
+            )
+            assert code == 2
+            assert "--trials must be >= 1" in capsys.readouterr().err
+
+    def test_tune_rejects_nonpositive_wall_cap(self, capsys):
+        code = cli_main(
+            ["tune", "--workload", "lstm-ptb", "--trials", "4",
+             "--max-wall-hours", "0"]
+        )
+        assert code == 2
+        assert "--max-wall-hours" in capsys.readouterr().err
+
     def test_unknown_experiment_id(self, capsys):
         assert cli_main(["experiment", "--id", "Z9"]) == 1
         assert "unknown experiment" in capsys.readouterr().err

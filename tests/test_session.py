@@ -10,6 +10,7 @@ from repro.baselines import GridSearch, RandomSearch
 from repro.cluster import homogeneous
 from repro.configspace import FloatParameter, ConfigSpace, ml_config_space
 from repro.core import (
+    AsyncExecutor,
     MLConfigTuner,
     ParallelExecutor,
     SerialExecutor,
@@ -17,8 +18,13 @@ from repro.core import (
     TuningBudget,
     TuningSession,
 )
-from repro.core.session import JsonlTrialLog, ProgressLogger, SessionCallback
-from repro.core.stopping import PlateauRule, StoppedStrategy
+from repro.core.session import (
+    JsonlTrialLog,
+    ProgressLogger,
+    SessionCallback,
+    executor_for,
+)
+from repro.core.stopping import PlateauRule, StoppedStrategy, WallClockCapRule
 from repro.core.strategy import SearchStrategy
 from repro.mlsim import Measurement, TrainingConfig, TrainingEnvironment
 from repro.workloads import get_workload
@@ -47,12 +53,16 @@ def seed_reference_loop(strategy, env, space_, budget, seed):
 
 
 class CostedStrategy(SearchStrategy):
-    """Deterministic stub with scripted probe costs (no real environment)."""
+    """Deterministic stub with scripted probe costs (no real environment).
+
+    ``oks`` optionally scripts per-probe success (default: all succeed).
+    """
 
     name = "costed-stub"
 
-    def __init__(self, costs):
+    def __init__(self, costs, oks=None):
         self.costs = list(costs)
+        self.oks = list(oks) if oks is not None else None
         self.cursor = 0
 
     def propose(self, history, space_, rng):
@@ -60,12 +70,13 @@ class CostedStrategy(SearchStrategy):
 
     def measure(self, env, config):
         cost = float(self.costs[self.cursor % len(self.costs)])
+        ok = self.oks[self.cursor % len(self.oks)] if self.oks else True
         self.cursor += 1
         return Measurement(
             config=TrainingConfig(),
-            ok=True,
+            ok=ok,
             fidelity="stub",
-            objective=cost,
+            objective=cost if ok else None,
             probe_cost_s=cost,
         )
 
@@ -180,6 +191,19 @@ class TestParallelExecutor:
         assert result.num_trials == 2
         assert result.total_cost_s == pytest.approx(20.0)
 
+    def test_wall_cap_does_not_cancel_round_members_by_recording_order(self):
+        # All four members launched at the round start; the slow one
+        # recording first must not cancel round-mates that physically
+        # completed before the cap.  Either batch order records all four.
+        for costs in ([12.0, 1.0, 1.0, 1.0], [1.0, 1.0, 1.0, 12.0]):
+            strategy = CostedStrategy(costs)
+            result = TuningSession(strategy, executor=ParallelExecutor(4)).run(
+                StubEnv(), stub_space(),
+                TuningBudget(max_trials=None, max_wall_clock_s=10.0), seed=0,
+            )
+            assert result.num_trials == 4
+            assert result.total_wall_clock_s == pytest.approx(12.0)
+
     def test_default_propose_batch_advances_grid_cursor(self):
         strategy = GridSearch(resolution=1, seed=0)
         rng = np.random.default_rng(0)
@@ -224,6 +248,269 @@ class TestParallelExecutor:
     def test_propose_batch_validates_k(self):
         with pytest.raises(ValueError):
             RandomSearch().propose_batch(TrialHistory(), space(), np.random.default_rng(0), 0)
+
+
+class TestAsyncExecutor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AsyncExecutor(workers=0)
+
+    def test_executor_for_modes(self):
+        assert isinstance(executor_for(4, mode="async"), AsyncExecutor)
+        assert isinstance(executor_for(4, mode="sync"), ParallelExecutor)
+        # One worker has no barrier to remove: serial in both modes.
+        assert isinstance(executor_for(1, mode="async"), SerialExecutor)
+        assert isinstance(executor_for(1), SerialExecutor)
+        with pytest.raises(ValueError):
+            executor_for(4, mode="bsp")
+        with pytest.raises(ValueError):
+            executor_for(0, mode="async")
+
+    def _run(self, costs, executor, budget=None, trials=None):
+        strategy = CostedStrategy(costs)
+        budget = budget or TuningBudget(max_trials=trials or len(costs))
+        return TuningSession(strategy, executor=executor).run(
+            StubEnv(), stub_space(), budget, seed=0
+        )
+
+    def test_async_beats_sync_wall_clock_on_heterogeneous_costs(self):
+        # Sync rounds: max(4,1)=4 then max(1,1)=1 -> 5.  Async: worker 0
+        # holds the 4s probe while worker 1 chews through the three 1s
+        # probes -> makespan 4.
+        costs = [4.0, 1.0, 1.0, 1.0]
+        sync = self._run(costs, ParallelExecutor(2))
+        asyn = self._run(costs, AsyncExecutor(2))
+        assert asyn.total_wall_clock_s < sync.total_wall_clock_s
+        assert sync.total_wall_clock_s == pytest.approx(5.0)
+        assert asyn.total_wall_clock_s == pytest.approx(4.0)
+
+    def test_machine_cost_identical_per_probe(self):
+        costs = [4.0, 1.0, 2.0, 8.0, 1.0, 3.0]
+        sync = self._run(costs, ParallelExecutor(3))
+        asyn = self._run(costs, AsyncExecutor(3))
+        assert asyn.total_cost_s == pytest.approx(sync.total_cost_s)
+        # Probe-for-probe: the same multiset of machine costs is billed.
+        assert sorted(
+            t.measurement.probe_cost_s for t in asyn.history
+        ) == sorted(t.measurement.probe_cost_s for t in sync.history)
+
+    def test_async_matches_sync_on_homogeneous_costs(self):
+        # With equal probe durations the barrier never causes idling.
+        sync = self._run([2.0] * 6, ParallelExecutor(3))
+        asyn = self._run([2.0] * 6, AsyncExecutor(3))
+        assert asyn.total_wall_clock_s == pytest.approx(sync.total_wall_clock_s)
+
+    def test_trials_recorded_in_completion_order(self):
+        # Launch order is [5s, 1s]; the 1s probe finishes first and is
+        # recorded as trial 0 with its own physical completion stamp.
+        result = self._run([5.0, 1.0], AsyncExecutor(2))
+        assert [t.objective for t in result.history] == [1.0, 5.0]
+        assert result.history.wall_clock_series() == pytest.approx([1.0, 5.0])
+        assert result.total_wall_clock_s == pytest.approx(5.0)
+        # launch_index correlates each trial with its trial_start event.
+        assert [t.launch_index for t in result.history] == [1, 0]
+        assert [t.index for t in result.history] == [0, 1]
+
+    def test_callback_ordering_with_out_of_order_completions(self):
+        recorder = RecordingCallback()
+        TuningSession(
+            CostedStrategy([5.0, 1.0, 1.0]),
+            executor=AsyncExecutor(2),
+            callbacks=[recorder],
+        ).run(StubEnv(), stub_space(), TuningBudget(max_trials=3), seed=0)
+        # trial_start indices are launch ordinals, trial_end indices are
+        # completion ordinals: the 5s probe launched first ends last.
+        assert recorder.events == [
+            "session_start",
+            "trial_start:0",
+            "trial_start:1",
+            "trial_end:0",
+            "round_end:0",
+            "trial_start:2",
+            "trial_end:1",
+            "round_end:1",
+            "trial_end:2",
+            "round_end:2",
+            "session_end",
+        ]
+
+    def test_never_launches_beyond_trial_budget(self):
+        result = self._run([1.0], AsyncExecutor(4), trials=5)
+        assert result.num_trials == 5
+
+    def test_max_wall_clock_budget_gates_launches(self):
+        # 4s probes on 2 workers: launches at 0,0,4,4,8,8 all start before
+        # the 10s cap; the completions at 12 overshoot it (by less than one
+        # probe per worker), and nothing launches at t >= 10.
+        result = self._run(
+            [4.0],
+            AsyncExecutor(2),
+            budget=TuningBudget(max_trials=None, max_wall_clock_s=10.0),
+        )
+        assert result.num_trials == 5
+        assert result.total_wall_clock_s == pytest.approx(12.0)
+        assert max(result.history.wall_clock_series()) <= 10.0 + 4.0
+
+    def test_max_wall_clock_budget_serial(self):
+        result = self._run(
+            [4.0],
+            SerialExecutor(),
+            budget=TuningBudget(max_trials=None, max_wall_clock_s=10.0),
+        )
+        # 4s, 8s, 12s: the probe crossing the cap is the last.
+        assert result.num_trials == 3
+
+    def test_wall_clock_budget_validation(self):
+        with pytest.raises(ValueError):
+            TuningBudget(max_trials=None, max_wall_clock_s=-1.0)
+        # A wall-clock cap alone is a valid budget.
+        budget = TuningBudget(max_trials=None, max_wall_clock_s=60.0)
+        assert budget.max_wall_clock_s == 60.0
+
+    def test_cost_budget_counts_in_flight_probes(self):
+        # Cap 15 with 10s probes: the second launch commits 20 machine
+        # seconds, so no third probe is ever launched.
+        result = self._run(
+            [10.0],
+            AsyncExecutor(4),
+            budget=TuningBudget(max_trials=None, max_cost_s=15.0),
+        )
+        assert result.total_cost_s == pytest.approx(20.0)
+
+    def test_reused_executor_resets_free_list(self):
+        executor = AsyncExecutor(2)
+        first = self._run([3.0, 1.0, 2.0, 1.0], executor)
+        second = self._run([3.0, 1.0, 2.0, 1.0], executor)
+        assert second.num_trials == first.num_trials
+        assert second.total_wall_clock_s == pytest.approx(first.total_wall_clock_s)
+
+    def test_halving_async_waits_at_rung_boundary(self):
+        from repro.baselines import SuccessiveHalving
+
+        strategy = SuccessiveHalving(bracket_size=4, eta=2, seed=0)
+        strategy.reset()
+        rng = np.random.default_rng(0)
+        sp = space()
+        history = TrialHistory()
+        launched = []
+        for _ in range(4):
+            config = strategy.propose_async(history, launched, sp, rng)
+            assert config is not None
+            launched.append(config)
+        # Rung fully launched, nothing observed: promotion would run on an
+        # empty result set — the strategy must wait, not cross the rung.
+        assert strategy.propose_async(history, launched, sp, rng) is None
+
+    def test_halving_async_preserves_rung_structure(self):
+        """Regression: async halving must not promote on partial rungs.
+
+        A 6-wide bracket at eta=3 has rungs of 6 then 2; the two promoted
+        configs must be drawn from the first rung's members.
+        """
+        from repro.baselines import SuccessiveHalving
+
+        result = SuccessiveHalving(bracket_size=6, eta=3, seed=0).run(
+            make_env(), space(), TuningBudget(max_trials=8), seed=0,
+            executor=AsyncExecutor(4),
+        )
+        assert result.num_trials == 8
+        trials = sorted(result.history, key=lambda t: t.launch_index)
+        rung0 = {tuple(sorted(t.config.items())) for t in trials[:6]}
+        rung1 = [tuple(sorted(t.config.items())) for t in trials[6:]]
+        assert len(rung0) == 6
+        assert len(rung1) == 2
+        assert set(rung1) <= rung0
+
+    def test_async_grid_drains_in_flight_at_exhaustion(self):
+        """Regression: a finished strategy must not discard in-flight probes.
+
+        When the grid cursor exhausts with probes still in flight, the
+        session drains them — every grid point is recorded, exactly as
+        under serial or synchronous-parallel execution.
+        """
+        serial = GridSearch(resolution=1, seed=0).run(
+            make_env(), space(), TuningBudget(max_trials=500)
+        )
+        asyn = GridSearch(resolution=1, seed=0).run(
+            make_env(), space(), TuningBudget(max_trials=500),
+            executor=AsyncExecutor(4),
+        )
+        assert asyn.num_trials == serial.num_trials
+        assert {tuple(sorted(t.config.items())) for t in asyn.history} == {
+            tuple(sorted(t.config.items())) for t in serial.history
+        }
+        assert asyn.total_cost_s == pytest.approx(serial.total_cost_s)
+
+    def test_unfinishing_stop_rule_cannot_launch_in_the_past(self):
+        """Regression: a worker idled behind a launch gate relaunches *now*.
+
+        FailureStreakRule fires after two fast failures, the slow success
+        drains and breaks the streak, and the session resumes.  The idle
+        worker's free-time (t=20) is stale by then; launching there would
+        produce time-travelling trials and non-monotone completion stamps.
+        """
+        from repro.core.stopping import FailureStreakRule
+
+        strategy = StoppedStrategy(
+            CostedStrategy(
+                [10.0, 1000.0, 10.0, 100.0],
+                oks=[False, True, False, True],
+            ),
+            [FailureStreakRule(streak=2)],
+        )
+        result = TuningSession(strategy, executor=AsyncExecutor(2)).run(
+            StubEnv(), stub_space(), TuningBudget(max_trials=5), seed=0
+        )
+        stamps = result.history.wall_clock_series()
+        assert stamps == sorted(stamps)
+        # The post-resume launches start at the session clock (t=1000),
+        # not at the stale free-time (t=20).
+        assert stamps[-1] == pytest.approx(1100.0)
+        assert result.total_wall_clock_s == pytest.approx(1100.0)
+
+    def test_async_bo_tuner_runs_and_accounts_honestly(self):
+        result = MLConfigTuner(seed=0).run(
+            make_env(), space(), TuningBudget(max_trials=16), seed=0,
+            executor=AsyncExecutor(4),
+        )
+        assert result.num_trials == 16
+        assert result.best_objective is not None
+        # All probes billed, but the stopwatch only sees per-worker timelines.
+        assert result.total_cost_s > result.total_wall_clock_s
+
+    def test_wall_clock_cap_rule_fires(self):
+        rule = WallClockCapRule(max_wall_clock_s=9.0)
+        history = TrialHistory()
+        history.record(
+            {"x": 0.5},
+            Measurement(
+                config=TrainingConfig(), ok=True, fidelity="stub",
+                objective=1.0, probe_cost_s=5.0,
+            ),
+        )
+        assert not rule.should_stop(history)
+        history.record(
+            {"x": 0.5},
+            Measurement(
+                config=TrainingConfig(), ok=True, fidelity="stub",
+                objective=1.0, probe_cost_s=5.0,
+            ),
+        )
+        assert rule.should_stop(history)
+        assert "wall-clock cap" in rule.reason()
+        with pytest.raises(ValueError):
+            WallClockCapRule(max_wall_clock_s=0.0)
+
+    def test_wall_clock_cap_rule_stops_session(self):
+        strategy = StoppedStrategy(
+            CostedStrategy([4.0]), [WallClockCapRule(max_wall_clock_s=10.0)]
+        )
+        result = TuningSession(strategy, executor=AsyncExecutor(2)).run(
+            StubEnv(), stub_space(), TuningBudget(max_trials=100), seed=0
+        )
+        assert result.num_trials < 100
+        assert strategy.stop_reason is not None
+        assert "wall-clock cap" in strategy.stop_reason
 
 
 class RecordingCallback(SessionCallback):
@@ -316,6 +603,45 @@ class TestCallbacks:
         assert [t["index"] for t in trials] == [0, 1, 2, 3]
         assert trials[-1]["cumulative_cost_s"] == pytest.approx(result.total_cost_s)
         assert trials[0]["config"] == result.history[0].config
+
+    def test_jsonl_session_end_without_start_is_noop(self, tmp_path):
+        """Regression: session_end before session_start must not crash.
+
+        The sink used to call ``self._handle.close()`` unguarded — an
+        ``AttributeError`` on ``None`` when the callback was attached to a
+        session that aborted before ``on_session_start`` ever fired.
+        """
+        import os
+
+        from repro.core import TuningResult
+
+        path = str(tmp_path / "aborted.jsonl")
+        log = JsonlTrialLog(path)
+        result = TuningResult(
+            strategy="aborted", history=TrialHistory(), best_trial=None,
+            environment={},
+        )
+        log.on_session_end(result)  # must not raise
+        assert not os.path.exists(path)
+
+    def test_jsonl_double_session_end_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "trials.jsonl")
+        log = JsonlTrialLog(path)
+        RandomSearch().run(
+            make_env(), space(), TuningBudget(max_trials=3), seed=0,
+            callbacks=[log],
+        )
+        before = open(path).read()
+        # A stray second end event must neither crash nor truncate the log
+        # to a lone session_end record (the lazy _write reopens in "w").
+        from repro.core import TuningResult
+
+        result_stub = TuningResult(
+            strategy="stray", history=TrialHistory(), best_trial=None,
+            environment={},
+        )
+        log.on_session_end(result_stub)
+        assert open(path).read() == before
 
 
 class TestSessionReset:

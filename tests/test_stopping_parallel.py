@@ -8,7 +8,14 @@ from repro.cluster import homogeneous
 from repro.configspace import ConfigSpace, FloatParameter, ml_config_space
 from repro.core import MLConfigTuner, TrialHistory, TuningBudget
 from repro.core.bo import BayesianProposer
-from repro.core.parallel import propose_batch, run_parallel_round
+from repro.core.parallel import (
+    DEFAULT_COST_LIE_S,
+    _append_fantasy,
+    _fantasy_lies,
+    propose_async,
+    propose_batch,
+    run_parallel_round,
+)
 from repro.core.stopping import (
     CostCapRule,
     FailureStreakRule,
@@ -185,3 +192,122 @@ class TestConstantLiar:
             propose_batch(
                 proposer, history, np.random.default_rng(0), batch_size=2, lie="huge"
             )
+        with pytest.raises(ValueError):
+            propose_async(
+                proposer, history, [], np.random.default_rng(0), lie="huge"
+            )
+
+    def test_cost_lie_falls_back_to_all_trials_then_default(self):
+        """Regression: an all-failed history must not produce a 0s cost lie.
+
+        Failed probes still burned machine time; a zero-cost fantasy is
+        exactly the cost-surrogate poisoning the lie is meant to avoid.
+        """
+        all_failed = TrialHistory()
+        for cost in (30.0, 50.0, 40.0):
+            all_failed.record(
+                {"x": 0.5},
+                Measurement(
+                    config=TrainingConfig(), ok=False, fidelity="analytic",
+                    objective=None, probe_cost_s=cost,
+                ),
+            )
+        lie_value, cost_lie = _fantasy_lies(all_failed, "incumbent")
+        # No success to lie about: the objective lie is None (the fantasy
+        # records as a failed probe) — any constant would fabricate an
+        # objective scale, and for negated objectives (tta) 0.0 would
+        # outrank every feasible value.
+        assert lie_value is None
+        assert cost_lie == pytest.approx(40.0)
+        extended = TrialHistory()
+        _append_fantasy(extended, {"x": 0.5}, lie_value=None, cost_lie=40.0)
+        assert not extended[0].ok
+        assert extended[0].measurement.objective is None
+        assert extended[0].measurement.probe_cost_s == 40.0
+
+        # No trials at all (or only zero-cost ones): a positive default.
+        assert _fantasy_lies(TrialHistory(), "incumbent")[1] == DEFAULT_COST_LIE_S
+        zero_cost = make_history([None, None], cost=0.0)
+        assert _fantasy_lies(zero_cost, "incumbent")[1] == DEFAULT_COST_LIE_S
+        # Zero-cost *successes* fall through too: first to the all-trials
+        # median, then to the default.
+        mixed = make_history([1.0], cost=0.0)
+        mixed.record(
+            {"x": 0.5},
+            Measurement(
+                config=TrainingConfig(), ok=False, fidelity="analytic",
+                objective=None, probe_cost_s=20.0,
+            ),
+        )
+        assert _fantasy_lies(mixed, "incumbent") == (1.0, 10.0)
+        zero_success = make_history([1.0, 2.0], cost=0.0)
+        assert _fantasy_lies(zero_success, "incumbent") == (2.0, DEFAULT_COST_LIE_S)
+
+    def test_fantasy_measurement_carries_fantasy_config(self):
+        """Regression: fantasies used to carry a default TrainingConfig."""
+        from repro.configspace import to_training_config
+
+        extended = TrialHistory()
+        config = {"num_workers": 7, "batch_per_worker": 64}
+        _append_fantasy(extended, config, lie_value=1.0, cost_lie=30.0)
+        fantasy = extended[0]
+        assert fantasy.measurement.fidelity == "fantasy"
+        assert fantasy.measurement.config == to_training_config(config)
+        assert fantasy.measurement.config.num_workers == 7
+        assert fantasy.measurement.probe_cost_s == 30.0
+
+    def test_fantasy_extension_preserves_replayed_metadata(self):
+        """Regression: the per-fantasy O(k·n) replay dropped round/wall stamps."""
+        history = TrialHistory()
+        history.record(
+            {"x": 0.1},
+            Measurement(
+                config=TrainingConfig(), ok=True, fidelity="analytic",
+                objective=2.0, probe_cost_s=6.0,
+            ),
+            wall_clock_s=6.0,
+            round_index=0,
+            completed_at_wall_s=6.0,
+        )
+        history.record(
+            {"x": 0.2},
+            Measurement(
+                config=TrainingConfig(), ok=True, fidelity="analytic",
+                objective=3.0, probe_cost_s=2.0,
+            ),
+            wall_clock_s=0.0,
+            round_index=0,
+            completed_at_wall_s=2.0,
+        )
+        extended = history.clone()
+        _append_fantasy(extended, {"x": 0.3}, lie_value=3.0, cost_lie=4.0)
+        assert [t.round_index for t in extended][:2] == [0, 0]
+        assert extended[0].cumulative_wall_clock_s == 6.0
+        assert extended[1].cumulative_wall_clock_s == 2.0
+        assert extended.total_wall_clock_s == pytest.approx(
+            history.total_wall_clock_s + 4.0
+        )
+        # The original history is untouched.
+        assert len(history) == 2
+        assert history.total_cost_s == pytest.approx(8.0)
+
+    def test_history_clone_is_isolated(self):
+        history = make_history([1.0, 2.0], cost=10.0)
+        clone = history.clone()
+        _append_fantasy(clone, {"x": 0.9}, lie_value=2.0, cost_lie=10.0)
+        assert len(clone) == 3 and len(history) == 2
+        assert history.total_cost_s == pytest.approx(20.0)
+        assert clone.total_cost_s == pytest.approx(30.0)
+
+    def test_propose_async_conditions_on_pending(self):
+        space, proposer, history = self._setup()
+        rng = np.random.default_rng(3)
+        first = propose_async(proposer, history, [], np.random.default_rng(3))
+        # Fantasising the first point away must steer the next proposal
+        # elsewhere — the same seed without pending returns the same point.
+        again = propose_async(proposer, history, [], np.random.default_rng(3))
+        assert first == again
+        second = propose_async(proposer, history, [first], np.random.default_rng(3))
+        assert second != first
+        assert space.is_valid(second)
+        assert len(history) == 2 + 6  # setup's 8 trials, no fantasy leaked
