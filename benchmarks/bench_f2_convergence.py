@@ -38,7 +38,7 @@ def bench_f2_convergence(benchmark):
     proposer = BayesianProposer(space, n_initial=8, n_candidates=256, seed=0)
 
     def kernel():
-        proposer._cached_hypers = None  # force the full refit path
+        proposer._objective_cache.hypers = None  # force the full refit path
         return proposer.propose(history, np.random.default_rng(1))
 
     config = benchmark(kernel)

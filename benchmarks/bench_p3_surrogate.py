@@ -1,0 +1,255 @@
+"""P3 — fast surrogate layer: proposal latency vs. history size and batch width.
+
+Times the interactive hot path of the tuner — one BO proposal — against
+history size (n in {16, 64, 256}) and constant-liar batch width, in two
+modes:
+
+- ``incremental`` — the shipped fast path: persistent surrogates whose
+  cached Cholesky factors are extended on append
+  (:meth:`repro.core.gp.GaussianProcess.extend`), hyperparameter refits on
+  the real-trial cadence with analytic LML gradients;
+- ``rebuild`` — the no-cache baseline
+  (``BayesianProposer(reuse_surrogate=False)``): every proposal refits the
+  objective surrogate from scratch and the cost surrogate with a full
+  hyperparameter optimisation.  This arm still benefits from analytic LML
+  gradients (see the ``hyperfit`` section for that axis in isolation), so
+  the propose/batch speedups are *conservative* relative to the true
+  finite-difference pre-change code.
+
+Run as a script to (re)generate the committed latency baseline::
+
+    PYTHONPATH=src python benchmarks/bench_p3_surrogate.py --output BENCH_P3.json
+    PYTHONPATH=src python benchmarks/bench_p3_surrogate.py --quick   # CI smoke
+
+``scripts/bench_report.py`` renders the JSON and gates CI on regressions.
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone `python benchmarks/bench_p3_surrogate.py`
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
+    )
+
+import numpy as np
+
+from repro.configspace import ml_config_space
+from repro.core import TrialHistory
+from repro.core.bo import BayesianProposer
+from repro.core.gp import GaussianProcess
+from repro.core.kernels import make_kernel
+from repro.core.parallel import propose_batch
+from repro.mlsim import Measurement, TrainingConfig
+
+SCHEMA = "bench_p3_surrogate/v1"
+MODES = ("incremental", "rebuild")
+
+
+def _history(space, n, seed=0):
+    """A deterministic all-success history of ``n`` probes."""
+    rng = np.random.default_rng(seed)
+    history = TrialHistory()
+    for _ in range(n):
+        config = space.sample(rng)
+        history.record(
+            config,
+            Measurement(
+                config=TrainingConfig(),
+                ok=True,
+                fidelity="analytic",
+                objective=float(rng.random() * 100.0),
+                probe_cost_s=float(30.0 + rng.random() * 90.0),
+            ),
+        )
+    return history
+
+
+def _proposer(space, mode, seed=0):
+    return BayesianProposer(
+        space,
+        acquisition="eipc",  # the tuner's default: exercises the cost GP too
+        n_initial=8,
+        n_candidates=512,
+        reuse_surrogate=(mode == "incremental"),
+        seed=seed,
+    )
+
+
+def _record_objective(history, config, rng):
+    history.record(
+        config,
+        Measurement(
+            config=TrainingConfig(),
+            ok=True,
+            fidelity="analytic",
+            objective=float(rng.random() * 100.0),
+            probe_cost_s=float(30.0 + rng.random() * 90.0),
+        ),
+    )
+
+
+def time_propose(space, n, mode, repeats, seed=0):
+    """Median latency (ms) of one proposal against an n-trial history.
+
+    The history grows by one real observation per timed call — the
+    steady-state loop a CherryPick-style tuner runs between probes, with
+    hyperparameter refits landing at their natural cadence.
+    """
+    history = _history(space, n, seed=seed)
+    proposer = _proposer(space, mode, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    proposer.propose(history, rng)  # warm-up: first model fit
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        config = proposer.propose(history, rng)
+        samples.append((time.perf_counter() - start) * 1e3)
+        _record_objective(history, config, rng)
+    return statistics.median(samples)
+
+
+def time_batch_round(space, n, k, mode, repeats, seed=0):
+    """Median latency (ms) of one k-wide constant-liar proposal round."""
+    history = _history(space, n, seed=seed)
+    proposer = _proposer(space, mode, seed=seed)
+    rng = np.random.default_rng(seed + 2)
+    proposer.propose(history, rng)  # warm-up
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        batch = propose_batch(proposer, history, rng, k)
+        samples.append((time.perf_counter() - start) * 1e3)
+        for config in batch:
+            _record_objective(history, config, rng)
+    return statistics.median(samples)
+
+
+def time_hyperfit(n, analytic, repeats, seed=0, dim=8):
+    """Median latency (ms) of one full hyperparameter fit (restarts=2)."""
+    rng = np.random.default_rng(seed)
+    x = rng.random((n, dim))
+    y = np.sin(3.0 * x[:, 0]) + x[:, 1] ** 2 + 0.1 * rng.standard_normal(n)
+    samples = []
+    for _ in range(repeats):
+        gp = GaussianProcess(
+            kernel=make_kernel("matern52", dim),
+            restarts=2,
+            analytic_gradients=analytic,
+        )
+        start = time.perf_counter()
+        gp.fit(x, y)
+        samples.append((time.perf_counter() - start) * 1e3)
+    return statistics.median(samples)
+
+
+def run_suite(quick=False, seed=0):
+    """Measure every (axis, mode) cell and return the BENCH_P3 payload."""
+    nodes = 16
+    space = ml_config_space(nodes)
+    history_sizes = (16, 64) if quick else (16, 64, 256)
+    batch_cells = ((4, 64),) if quick else ((4, 64), (8, 256))
+    propose_repeats = 5 if quick else 9
+    batch_repeats = 2 if quick else 3
+    hyperfit_repeats = 3 if quick else 5
+
+    results = {
+        "schema": SCHEMA,
+        "quick": bool(quick),
+        "config": {
+            "nodes": nodes,
+            "dims": space.dims,
+            "acquisition": "eipc",
+            "n_candidates": 512,
+            "propose_repeats": propose_repeats,
+            "batch_repeats": batch_repeats,
+        },
+        "propose": {},
+        "batch": {},
+        "hyperfit": {},
+    }
+
+    for n in history_sizes:
+        cell = {}
+        for mode in MODES:
+            cell[mode + "_ms"] = time_propose(space, n, mode, propose_repeats, seed)
+        cell["speedup"] = cell["rebuild_ms"] / cell["incremental_ms"]
+        results["propose"][f"n={n}"] = cell
+        print(
+            f"propose n={n:>3}: rebuild {cell['rebuild_ms']:8.1f} ms  "
+            f"incremental {cell['incremental_ms']:8.1f} ms  "
+            f"speedup {cell['speedup']:5.1f}x"
+        )
+
+    for k, n in batch_cells:
+        cell = {}
+        for mode in MODES:
+            cell[mode + "_ms"] = time_batch_round(space, n, k, mode, batch_repeats, seed)
+        cell["speedup"] = cell["rebuild_ms"] / cell["incremental_ms"]
+        results["batch"][f"k={k},n={n}"] = cell
+        print(
+            f"batch k={k} n={n:>3}: rebuild {cell['rebuild_ms']:8.1f} ms  "
+            f"incremental {cell['incremental_ms']:8.1f} ms  "
+            f"speedup {cell['speedup']:5.1f}x"
+        )
+
+    for n in history_sizes:
+        cell = {
+            "fd_ms": time_hyperfit(n, analytic=False, repeats=hyperfit_repeats, seed=seed),
+            "analytic_ms": time_hyperfit(
+                n, analytic=True, repeats=hyperfit_repeats, seed=seed
+            ),
+        }
+        cell["speedup"] = cell["fd_ms"] / cell["analytic_ms"]
+        results["hyperfit"][f"n={n}"] = cell
+        print(
+            f"hyperfit n={n:>3}: finite-diff {cell['fd_ms']:8.1f} ms  "
+            f"analytic {cell['analytic_ms']:8.1f} ms  "
+            f"speedup {cell['speedup']:5.1f}x"
+        )
+
+    return results
+
+
+def bench_p3_surrogate(benchmark):
+    """pytest-benchmark entry: one fast-path proposal at n=64."""
+    space = ml_config_space(16)
+    history = _history(space, 64)
+    proposer = _proposer(space, "incremental")
+    rng = np.random.default_rng(1)
+    proposer.propose(history, rng)  # warm the surrogate cache
+
+    config = benchmark(lambda: proposer.propose(history, rng))
+    assert space.is_valid(config)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller axes and fewer repeats (CI smoke)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="write the results JSON here (default: print only)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    results = run_suite(quick=args.quick, seed=args.seed)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

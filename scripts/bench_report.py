@@ -1,0 +1,146 @@
+"""Render and regression-check BENCH_P3-style benchmark JSON files.
+
+Two subcommands:
+
+``report``
+    Pretty-print a benchmark JSON (tables per axis, speedup columns)::
+
+        python scripts/bench_report.py report BENCH_P3.json
+
+``check``
+    Compare a freshly measured JSON against a committed baseline and exit
+    non-zero when a watched metric regressed beyond the allowed ratio —
+    the CI gate for proposal latency::
+
+        python scripts/bench_report.py check \
+            --baseline BENCH_P3.json --current /tmp/bench_now.json \
+            --metric propose/n=64/speedup --min-ratio 0.5
+
+    ``--max-ratio`` bounds lower-is-better metrics (latencies):
+    fail when ``current > max_ratio * baseline``.  ``--min-ratio`` bounds
+    higher-is-better metrics (speedups): fail when
+    ``current < min_ratio * baseline``.  Prefer gating on ``speedup``
+    fields in CI — both sides of a speedup are measured on the same
+    machine in the same run, so the verdict does not depend on how fast
+    the runner hardware happens to be.
+
+Metrics are addressed as ``section/cell/field`` paths into the JSON
+(e.g. ``propose/n=64/incremental_ms``).
+"""
+
+import argparse
+import json
+import sys
+
+
+def _load(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _lookup(results, metric):
+    node = results
+    for part in metric.split("/"):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(f"metric {metric!r} not found (missing {part!r})")
+        node = node[part]
+    if not isinstance(node, (int, float)):
+        raise KeyError(f"metric {metric!r} resolves to {type(node).__name__}, not a number")
+    return float(node)
+
+
+def render(results):
+    lines = []
+    quick = " (quick)" if results.get("quick") else ""
+    lines.append(f"# {results.get('schema', 'benchmark')}{quick}")
+    for section in ("propose", "batch", "hyperfit"):
+        cells = results.get(section)
+        if not cells:
+            continue
+        lines.append("")
+        lines.append(f"## {section}")
+        fields = sorted({f for cell in cells.values() for f in cell})
+        header = ["cell"] + fields
+        rows = [header, ["-" * len(h) for h in header]]
+        for name in sorted(cells):
+            row = [name]
+            for field in fields:
+                value = cells[name].get(field)
+                row.append("-" if value is None else f"{value:.2f}")
+            rows.append(row)
+        widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+        for row in rows:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def cmd_report(args):
+    print(render(_load(args.path)))
+    return 0
+
+
+def cmd_check(args):
+    if (args.max_ratio is None) == (args.min_ratio is None):
+        print("check: pass exactly one of --max-ratio / --min-ratio")
+        return 2
+    baseline = _load(args.baseline)
+    current = _load(args.current)
+    failures = []
+    for metric in args.metric:
+        base = _lookup(baseline, metric)
+        now = _lookup(current, metric)
+        ratio = now / base if base > 0 else float("inf")
+        if args.max_ratio is not None:
+            regressed = ratio > args.max_ratio
+            bound = f"max {args.max_ratio:.2f}"
+        else:
+            regressed = ratio < args.min_ratio
+            bound = f"min {args.min_ratio:.2f}"
+        status = "REGRESSED" if regressed else "ok"
+        print(
+            f"{metric}: baseline {base:.2f} current {now:.2f} "
+            f"ratio {ratio:.2f} ({bound}) {status}"
+        )
+        if regressed:
+            failures.append(metric)
+    if failures:
+        print(f"FAIL: {len(failures)} metric(s) regressed beyond the allowed ratio")
+        return 1
+    print("PASS: no metric regressed beyond the allowed ratio")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="pretty-print a benchmark JSON")
+    report.add_argument("path")
+    report.set_defaults(func=cmd_report)
+
+    check = sub.add_parser("check", help="regression-gate against a baseline")
+    check.add_argument("--baseline", required=True)
+    check.add_argument("--current", required=True)
+    check.add_argument(
+        "--metric",
+        action="append",
+        required=True,
+        help="section/cell/field path, e.g. propose/n=64/speedup "
+        "(repeatable)",
+    )
+    check.add_argument(
+        "--max-ratio", type=float, default=None,
+        help="fail when current > max_ratio * baseline (lower-is-better metrics)",
+    )
+    check.add_argument(
+        "--min-ratio", type=float, default=None,
+        help="fail when current < min_ratio * baseline (higher-is-better metrics)",
+    )
+    check.set_defaults(func=cmd_check)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,36 @@ proposing configurations that cannot run.
 When the acquisition is cost-aware (``"eipc"``), a second GP is fit to the
 log probe cost and candidates are scored by improvement *per predicted
 second of probing*.
+
+Fast-path architecture
+----------------------
+Proposal latency is the interactive hot path of the whole tuner (a
+CherryPick-style loop proposes between every probe), so the proposer keeps
+its surrogates *persistent* across :meth:`BayesianProposer.propose` calls
+instead of rebuilding them per call:
+
+- each surrogate (objective GP, and the cost GP under ``"eipc"``) lives in
+  a :class:`_SurrogateCache`.  When the new training set is a pure append
+  of the cached one — the common case: one more real trial, or one more
+  constant-liar fantasy during a batch round — the cached Cholesky factor
+  is *extended* in O(n^2) via :meth:`GaussianProcess.extend`;
+- hyperparameters are refit every ``refit_every`` trials; only then is the
+  cached factor rebuilt (with L-BFGS-B over analytic gradients).  The refit
+  cadence counts **real** trials only, so the k fantasies a constant-liar
+  round appends (:mod:`repro.core.parallel`) never trigger mid-round
+  refits — a round costs one refit at most, not k;
+- any other change to the training set (a fantasy replaced by its real
+  measurement, the failure penalty shifting, the log transform toggling)
+  misses the cache and falls back to one plain Cholesky refit at the
+  cached hyperparameters — correctness never depends on the cache.
+
+``reuse_surrogate=False`` disables the caching and restores rebuild-per-
+call surrogates (with a full cost-GP hyperparameter fit per call); it
+exists as the benchmark baseline (``benchmarks/bench_p3_surrogate.py``).
+Note it is a *conservative* baseline, not a bit-exact replay of the
+pre-optimisation code: its refits still use analytic LML gradients and
+the real-trial refit cadence, so measured speedups understate the gap to
+the true finite-difference past.
 """
 
 from __future__ import annotations
@@ -31,6 +61,69 @@ from repro.core.acquisition import get_acquisition
 from repro.core.gp import GaussianProcess, GPFitError
 from repro.core.kernels import make_kernel
 from repro.core.trial import TrialHistory
+
+
+class _SurrogateCache:
+    """One persistent GP reused across propose calls (extend-or-rebuild).
+
+    Holds the GP together with the exact training set it represents and
+    the last optimised hyperparameters.  :meth:`update` returns a GP
+    trained on exactly ``(x, y)`` by the cheapest sound route:
+
+    - ``optimize=True`` — fresh fit with hyperparameter optimisation; the
+      fitted hypers are cached for the rebuild path;
+    - cached training set is a prefix of ``(x, y)`` — block-Cholesky
+      extension of the cached factor, O(m n^2), hyperparameters fixed;
+    - otherwise — fresh single-Cholesky fit at the cached hypers.
+    """
+
+    def __init__(self) -> None:
+        self.gp: Optional[GaussianProcess] = None
+        self.hypers: Optional[np.ndarray] = None
+        self._x: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+
+    def _extends_cached(self, x: np.ndarray, y: np.ndarray) -> bool:
+        n = self._y.shape[0]
+        return (
+            y.shape[0] >= n
+            and x.shape[1] == self._x.shape[1]
+            and np.array_equal(x[:n], self._x)
+            and np.array_equal(y[:n], self._y)
+        )
+
+    def update(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        factory,
+        optimize: bool,
+        allow_extend: bool = True,
+    ) -> GaussianProcess:
+        if (
+            not optimize
+            and allow_extend
+            and self.gp is not None
+            and self._extends_cached(x, y)
+        ):
+            n = self._y.shape[0]
+            if y.shape[0] > n:
+                self.gp.extend(x[n:], y[n:])
+            self._x, self._y = x, y
+            return self.gp
+        gp = factory()
+        if optimize or self.hypers is None:
+            gp.fit(x, y, optimize_hypers=True)
+            self.hypers = np.concatenate(
+                (gp.kernel.get_log_params(), [np.log(gp.noise_variance)])
+            )
+        else:
+            k = gp.kernel.num_params()
+            gp.kernel.set_log_params(self.hypers[:k])
+            gp.noise_variance = float(np.exp(self.hypers[k]))
+            gp.fit(x, y, optimize_hypers=False)
+        self.gp, self._x, self._y = gp, x, y
+        return gp
 
 
 class BayesianProposer:
@@ -57,6 +150,12 @@ class BayesianProposer:
         relative improvement.  Default ``"never"``: on this substrate an
         A/B comparison showed no benefit (see EXPERIMENTS.md commentary),
         and the recorded benchmarks use the raw scale.
+    reuse_surrogate:
+        Keep the fitted surrogates persistent between ``propose`` calls and
+        extend their cached Cholesky factors when the history grew by pure
+        appends (see the module docstring).  ``False`` rebuilds every
+        surrogate per call — kept as the (conservative) benchmark
+        baseline.
     """
 
     def __init__(
@@ -71,6 +170,7 @@ class BayesianProposer:
         local_search_steps: int = 8,
         refit_every: int = 3,
         log_objective: str = "never",
+        reuse_surrogate: bool = True,
         seed: int = 0,
     ) -> None:
         if n_initial < 2:
@@ -95,24 +195,30 @@ class BayesianProposer:
         # and reuse the cached values in between.
         self.refit_every = refit_every
         self.log_objective = log_objective
+        self.reuse_surrogate = reuse_surrogate
         self.seed = seed
         self._initial_design: Optional[List[ConfigDict]] = None
-        self._cached_hypers: Optional[np.ndarray] = None
         self._last_refit_at = -1
         self._log_active = False
+        self._objective_cache = _SurrogateCache()
+        self._cost_cache = _SurrogateCache()
         self.last_fit_diagnostics: dict = {}
 
     # -- training-set assembly ------------------------------------------------
 
     def _training_set(self, history: TrialHistory) -> Tuple[np.ndarray, np.ndarray]:
-        """Encoded (X, y) including penalised failures.
+        """Encoded (X, y) including penalised failures, in history order.
 
+        Rows follow trial order (the GP posterior is permutation-invariant,
+        and history order makes a grown history a pure *append* of the
+        previous training set — the case the surrogate cache fast-paths).
         When the log transform is active, targets are log objectives and
         failures are penalised in log space.
         """
-        successes = history.successful()
-        failures = history.failed()
-        ys = np.array([t.objective for t in successes], dtype=float)
+        trials = history.trials
+        if not trials:
+            return np.array([]), np.array([])
+        ys = np.array([t.objective for t in trials if t.ok], dtype=float)
         use_log = (
             self.log_objective == "auto" and len(ys) > 0 and np.all(ys > 0)
         )
@@ -123,11 +229,15 @@ class BayesianProposer:
             penalty = ys.min() - (ys.std() if len(ys) > 1 and ys.std() > 0 else abs(ys.min()) * 0.1 + 1.0)
         else:
             penalty = -1.0
-        trials = successes + failures
-        if not trials:
-            return np.array([]), np.array([])
         rows = self.space.encode_batch([t.config for t in trials])
-        targets = [float(value) for value in ys] + [penalty] * len(failures)
+        targets = []
+        for trial in trials:
+            if not trial.ok:
+                targets.append(penalty)
+            elif use_log:
+                targets.append(float(np.log(trial.objective)))
+            else:
+                targets.append(float(trial.objective))
         return rows, np.array(targets)
 
     # -- proposal ------------------------------------------------------------
@@ -150,35 +260,42 @@ class BayesianProposer:
             self._initial_design = self.space.latin_hypercube(design_rng, self.n_initial)
         return self._initial_design[index % len(self._initial_design)]
 
+    @staticmethod
+    def _num_real_trials(history: TrialHistory) -> int:
+        """Trials backed by an actual probe (constant-liar fantasies excluded).
+
+        The refit cadence runs on this count so the fantasies a batch round
+        appends never trigger mid-round hyperparameter refits.
+        """
+        return sum(1 for t in history if t.measurement.fidelity != "fantasy")
+
     def _model_based_point(
         self, history: TrialHistory, rng: np.random.Generator
     ) -> ConfigDict:
         x, y = self._training_set(history)
         if len(y) == 0:
             return self.space.sample(rng)
-        surrogate = GaussianProcess(
-            kernel=make_kernel(self.kernel_name, self.space.dims),
-            seed=self.seed,
-        )
+        real_n = self._num_real_trials(history)
         refit_due = (
-            self._cached_hypers is None
-            or len(history) - self._last_refit_at >= self.refit_every
+            self._objective_cache.hypers is None
+            or real_n - self._last_refit_at >= self.refit_every
         )
-        if not refit_due:
-            k = surrogate.kernel.num_params()
-            surrogate.kernel.set_log_params(self._cached_hypers[:k])
-            surrogate.noise_variance = float(np.exp(self._cached_hypers[k]))
-            surrogate.fit(x, y, optimize_hypers=False)
-        else:
-            surrogate.fit(x, y, optimize_hypers=True)
-            self._cached_hypers = np.concatenate(
-                (surrogate.kernel.get_log_params(), [np.log(surrogate.noise_variance)])
-            )
-            self._last_refit_at = len(history)
+        surrogate = self._objective_cache.update(
+            x,
+            y,
+            factory=lambda: GaussianProcess(
+                kernel=make_kernel(self.kernel_name, self.space.dims),
+                seed=self.seed,
+            ),
+            optimize=refit_due,
+            allow_extend=self.reuse_surrogate,
+        )
+        if refit_due:
+            self._last_refit_at = real_n
 
         cost_model = None
         if self.acquisition_name == "eipc":
-            cost_model = self._fit_cost_model(history)
+            cost_model = self._fit_cost_model(history, refit_due)
 
         incumbent = float(np.max(y))
         candidates = self._candidate_set(history, rng)
@@ -200,6 +317,8 @@ class BayesianProposer:
             current, current_score = moves[top], float(move_scores[top])
 
         self.last_fit_diagnostics = {
+            # Cached at the surrogate's last fit/extension — no O(n^3)
+            # posterior recomputation just to populate a diagnostic.
             "lml": surrogate.log_marginal_likelihood(),
             "noise_variance": surrogate.noise_variance,
             "incumbent": incumbent,
@@ -241,7 +360,9 @@ class BayesianProposer:
             cost = np.ones(len(candidates))
         return self.acquisition(mu, sigma, incumbent, cost=cost, xi=self.xi)
 
-    def _fit_cost_model(self, history: TrialHistory) -> Optional[GaussianProcess]:
+    def _fit_cost_model(
+        self, history: TrialHistory, refit_due: bool
+    ) -> Optional[GaussianProcess]:
         successes = history.successful()
         if len(successes) < 3:
             return None
@@ -249,10 +370,21 @@ class BayesianProposer:
         log_cost = np.log(
             np.array([max(1e-3, t.measurement.probe_cost_s) for t in successes])
         )
+        # Successes appear in history order, so a new probe appends one row
+        # and the cached cost factor extends exactly like the objective's.
+        # Without surrogate reuse the pre-optimisation behaviour is kept:
+        # a full hyperparameter fit on every single call.
+        optimize = refit_due if self.reuse_surrogate else True
         try:
-            return GaussianProcess(
-                kernel=make_kernel(self.kernel_name, self.space.dims),
-                seed=self.seed + 1,
-            ).fit(x, log_cost)
+            return self._cost_cache.update(
+                x,
+                log_cost,
+                factory=lambda: GaussianProcess(
+                    kernel=make_kernel(self.kernel_name, self.space.dims),
+                    seed=self.seed + 1,
+                ),
+                optimize=optimize,
+                allow_extend=self.reuse_surrogate,
+            )
         except GPFitError:
             return None

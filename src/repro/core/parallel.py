@@ -27,6 +27,14 @@ configuration, so consumers reading ``measurement.config`` (cost models,
 importance analysis, logs) see the knob values that were actually
 fantasised.
 
+Each fantasy is an *append* to the working history, which is exactly the
+case the proposer's persistent surrogate fast-paths: the k proposals of a
+constant-liar round extend one cached Cholesky factor in O(n^2) apiece
+(:meth:`~repro.core.gp.GaussianProcess.extend`) instead of refitting k
+surrogates from scratch, and because fantasies carry the ``"fantasy"``
+fidelity they never advance the proposer's hyperparameter-refit cadence —
+a round costs at most one refit, not k (see :mod:`repro.core.bo`).
+
 :func:`run_parallel_round` predates the executor layer and is kept as a
 convenience for driving a bare proposer; new code should run a
 ``TuningSession`` with a ``ParallelExecutor`` or ``AsyncExecutor`` instead.

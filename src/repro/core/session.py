@@ -243,6 +243,17 @@ class Executor(ABC):
         """
         return False
 
+    def cancel_pending(self, history: TrialHistory) -> None:
+        """Hook: cancel in-flight probes when the session stops mid-flight.
+
+        Called once after the session loop exits with probes still
+        pending (budget exhaustion — the only exit that strands them).
+        Executors that track in-flight probes bill the machine time each
+        one burned up to the cancellation instant via
+        :meth:`TrialHistory.charge_cancelled`; a cancelled probe produced
+        no trial, but its elapsed seconds were still spent on the cluster.
+        """
+
     @abstractmethod
     def run_round(
         self,
@@ -373,7 +384,12 @@ class AsyncExecutor(Executor):
     exhausted, EI threshold) the in-flight probes drain to completion and
     are recorded; only *budget* exhaustion cancels them outright (start
     event without end event), mirroring the synchronous executor's
-    cancellation of a round's unprobed remainder.
+    cancellation of a round's unprobed remainder.  A cancelled probe is
+    not free: it ran from its launch until the session stopped, so
+    :meth:`cancel_pending` bills that elapsed wall-clock (clamped to the
+    probe's own duration) as machine cost via
+    :meth:`TrialHistory.charge_cancelled` — the cluster bill keeps every
+    second a worker actually burned, recorded or not.
 
     Trials are recorded in *completion* order: :attr:`Trial.index` is the
     completion ordinal while ``on_trial_start`` carries the launch
@@ -390,13 +406,34 @@ class AsyncExecutor(Executor):
     def reset(self) -> None:
         # Per-session state: free workers (by the time they freed up), the
         # in-flight heap of (completion_s, launch ordinal, config,
-        # measurement), and the launch counter the budget gate checks.
+        # measurement, start_s), and the launch counter the budget gate
+        # checks.
         self._free_at: List[float] = [0.0] * self.workers
         self._in_flight: List[tuple] = []
         self._launched = 0
 
     def has_pending(self) -> bool:
         return bool(self._in_flight)
+
+    def cancel_pending(self, history: TrialHistory) -> None:
+        """Bill the partial machine cost of every cancelled in-flight probe.
+
+        The cancellation instant is the session clock at which the budget
+        fired — the wall-clock stamp of the completion that exhausted it.
+        Each in-flight probe is billed the wall-time between its launch
+        and that instant, clamped to its own duration (a probe whose
+        completion coincides with the stop is billed in full), and the
+        in-flight list is cleared so a drained executor reports no
+        pending work.
+        """
+        stop_wall_s = history.total_wall_clock_s
+        for _, _, _, measurement, start_s in self._in_flight:
+            elapsed = min(
+                max(0.0, stop_wall_s - start_s),
+                max(0.0, measurement.probe_cost_s),
+            )
+            history.charge_cancelled(elapsed)
+        self._in_flight = []
 
     def _pending_configs(self) -> List[ConfigDict]:
         """In-flight configurations, in launch order."""
@@ -454,12 +491,13 @@ class AsyncExecutor(Executor):
                     self._launched,
                     config,
                     measurement,
+                    start_s,
                 ),
             )
             self._launched += 1
         if not self._in_flight:
             return []
-        completion_s, launch_ordinal, config, measurement = heappop(self._in_flight)
+        completion_s, launch_ordinal, config, measurement, _ = heappop(self._in_flight)
         self._free_at.append(completion_s)
         # Events drain in completion order, so the session clock only ever
         # advances; each trial's stamp is its physical completion time.
@@ -547,6 +585,10 @@ class TuningSession:
             if not trials:
                 break
             events.round_end(history.num_rounds - 1, trials, history)
+        if self.executor.has_pending():
+            # Budget exhaustion is the only exit that strands in-flight
+            # probes; bill the machine time they burned before the cut.
+            self.executor.cancel_pending(history)
         result = TuningResult(
             strategy=self.strategy.name,
             history=history,

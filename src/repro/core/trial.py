@@ -8,9 +8,11 @@ a tuner builds up; it exposes the derived series the evaluation plots
 
 Two cost axes are tracked.  *Machine cost* (``cumulative_cost_s``) sums
 every probe second regardless of where it ran — the bill for the whole
-cluster.  *Wall-clock* (``cumulative_wall_clock_s``) is what a stopwatch
-next to the tuning session reads: serial probing accrues every probe,
-K-way-parallel probing accrues only the slowest probe of each round.
+cluster, including the partial seconds burned by probes cancelled at a
+budget boundary (:meth:`TrialHistory.charge_cancelled`, itemised in
+``cancelled_cost_s``).  *Wall-clock* (``cumulative_wall_clock_s``) is what
+a stopwatch next to the tuning session reads: serial probing accrues every
+probe, K-way-parallel probing accrues only the slowest probe of each round.
 """
 
 from __future__ import annotations
@@ -66,6 +68,7 @@ class TrialHistory:
         self._trials: List[Trial] = []
         self.total_cost_s = 0.0
         self.total_wall_clock_s = 0.0
+        self.cancelled_cost_s = 0.0
 
     def record(
         self,
@@ -114,6 +117,21 @@ class TrialHistory:
         self._trials.append(trial)
         return trial
 
+    def charge_cancelled(self, cost_s: float) -> None:
+        """Bill machine time burned by a probe cancelled before completion.
+
+        A probe cut short at a budget boundary produced no trial, but the
+        machine seconds it ran before cancellation were still spent — the
+        cluster bill does not refund them.  The charge raises
+        ``total_cost_s`` (and is itemised in ``cancelled_cost_s``) without
+        appending a trial, so trial counts and per-trial series are
+        untouched.
+        """
+        if cost_s < 0:
+            raise ValueError("cost_s must be non-negative")
+        self.cancelled_cost_s += cost_s
+        self.total_cost_s += cost_s
+
     def clone(self) -> "TrialHistory":
         """A metadata-preserving copy sharing the (frozen) trial records.
 
@@ -127,6 +145,7 @@ class TrialHistory:
         copy._trials = list(self._trials)
         copy.total_cost_s = self.total_cost_s
         copy.total_wall_clock_s = self.total_wall_clock_s
+        copy.cancelled_cost_s = self.cancelled_cost_s
         return copy
 
     @property

@@ -199,3 +199,115 @@ class TestLogObjectiveOption:
         assert proposer.log_objective == "never"
         with pytest.raises(ValueError):
             BayesianProposer(space, log_objective="sometimes")
+
+
+class TestPersistentSurrogate:
+    """The proposer must reuse (and extend) its surrogate across calls."""
+
+    def _history(self, space, n, seed=0):
+        rng = np.random.default_rng(seed)
+        history = TrialHistory()
+        for _ in range(n):
+            config = space.sample(rng)
+            record(history, config, toy_objective(config))
+        return history
+
+    def test_surrogate_extended_across_growing_history(self):
+        space = toy_space()
+        proposer = BayesianProposer(
+            space, n_initial=3, n_candidates=64, refit_every=100, seed=0
+        )
+        rng = np.random.default_rng(0)
+        history = self._history(space, 6)
+        proposer.propose(history, rng)  # first model fit (hyper refit)
+        first = proposer._objective_cache.gp
+        assert first is not None
+        assert first.num_observations == 6
+        for _ in range(3):
+            config = proposer.propose(history, rng)
+            record(history, config, toy_objective(config))
+        # Same GP object, grown by pure appends — never rebuilt.  The last
+        # propose saw 8 rows (its own result is recorded after it returns).
+        assert proposer._objective_cache.gp is first
+        assert first.num_observations == 8
+        assert first.extend_fallbacks == 0
+
+    def test_constant_liar_batch_extends_one_cached_factor(self):
+        from repro.core.parallel import propose_batch
+
+        space = toy_space()
+        proposer = BayesianProposer(
+            space, n_initial=3, n_candidates=64, refit_every=100, seed=0
+        )
+        rng = np.random.default_rng(1)
+        history = self._history(space, 8, seed=1)
+        proposer.propose(history, rng)  # warm the cache (one refit)
+        cached = proposer._objective_cache.gp
+        batch = propose_batch(proposer, history, rng, 4)
+        assert len(batch) == 4
+        # The k fantasy proposals extended the same factor; the last call
+        # saw the history plus k-1 fantasies.
+        assert proposer._objective_cache.gp is cached
+        assert cached.num_observations == 8 + 3
+
+    def test_fantasies_do_not_advance_refit_cadence(self):
+        from repro.core.parallel import propose_batch
+
+        space = toy_space()
+        proposer = BayesianProposer(
+            space, n_initial=3, n_candidates=64, refit_every=3, seed=2
+        )
+        rng = np.random.default_rng(2)
+        history = self._history(space, 6, seed=2)
+        proposer.propose(history, rng)
+        refit_mark = proposer._last_refit_at
+        # A wide batch appends many fantasies, but the cadence counts real
+        # trials only: no mid-round refit may fire.
+        propose_batch(proposer, history, rng, 8)
+        assert proposer._last_refit_at == refit_mark
+
+    def test_reuse_disabled_rebuilds_per_call(self):
+        space = toy_space()
+        proposer = BayesianProposer(
+            space, n_initial=3, n_candidates=64, reuse_surrogate=False, seed=3
+        )
+        rng = np.random.default_rng(3)
+        history = self._history(space, 6, seed=3)
+        proposer.propose(history, rng)
+        first = proposer._objective_cache.gp
+        config = proposer.propose(history, rng)
+        assert space.is_valid(config)
+        assert proposer._objective_cache.gp is not first
+
+    def test_non_append_history_change_falls_back_to_rebuild(self):
+        space = toy_space()
+        proposer = BayesianProposer(
+            space, n_initial=3, n_candidates=64, refit_every=100, seed=4
+        )
+        rng = np.random.default_rng(4)
+        history = self._history(space, 6, seed=4)
+        proposer.propose(history, rng)
+        first = proposer._objective_cache.gp
+        # A *failure* changes the penalty target of every failed row and is
+        # itself appended; a later success then changes the penalty again,
+        # rewriting an existing row — no longer a pure append.
+        record(history, space.sample(rng), None, ok=False)
+        proposer.propose(history, rng)
+        record(history, space.sample(rng), -5.0)
+        config = proposer.propose(history, rng)
+        assert space.is_valid(config)
+        # Correctness: whatever route was taken, the surrogate matches the
+        # full training set.
+        assert proposer._objective_cache.gp.num_observations == len(history)
+        assert first.num_observations <= len(history)
+
+    def test_lml_diagnostic_matches_surrogate_cache(self):
+        space = toy_space()
+        proposer = BayesianProposer(space, n_initial=3, n_candidates=64, seed=5)
+        rng = np.random.default_rng(5)
+        history = self._history(space, 7, seed=5)
+        proposer.propose(history, rng)
+        surrogate = proposer._objective_cache.gp
+        assert proposer.last_fit_diagnostics["lml"] == pytest.approx(
+            surrogate.log_marginal_likelihood()
+        )

@@ -137,6 +137,17 @@ class TestGaussianProcess:
         gp.fit(x, y, optimize_hypers=False)
         assert gp.num_observations == 7
 
+    def test_log_marginal_likelihood_before_fit_raises(self):
+        with pytest.raises(GPFitError):
+            GaussianProcess().log_marginal_likelihood()
+
+    def test_cached_lml_matches_direct_recomputation(self):
+        x, y = self._data()
+        gp = GaussianProcess(restarts=1).fit(x, y)
+        cached = gp.log_marginal_likelihood()
+        recomputed = -gp._neg_log_marginal(gp._log_params())
+        assert cached == pytest.approx(recomputed, abs=1e-9)
+
     @given(st.integers(min_value=0, max_value=10_000))
     @settings(max_examples=15, deadline=None)
     def test_posterior_mean_bounded_by_data_for_smooth_fits(self, seed):
@@ -150,3 +161,154 @@ class TestGaussianProcess:
         assert np.all(mean > y.min() - 3 * spread)
         assert np.all(mean < y.max() + 3 * spread)
         assert np.all(var >= 0)
+
+
+class TestIncrementalExtension:
+    """extend() must be indistinguishable from a from-scratch refit."""
+
+    @pytest.mark.parametrize("kernel_name", ["rbf", "matern52"])
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_old=st.integers(min_value=1, max_value=24),
+        m=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_extend_matches_full_fit(self, kernel_name, seed, n_old, m):
+        rng = np.random.default_rng(seed)
+        dim = 3
+        x = rng.random((n_old + m, dim))
+        y = rng.standard_normal(n_old + m) * (1.0 + 5.0 * rng.random())
+
+        incremental = GaussianProcess(kernel=make_kernel(kernel_name, dim), restarts=0)
+        incremental.fit(x[:n_old], y[:n_old], optimize_hypers=False)
+        incremental.extend(x[n_old:], y[n_old:])
+
+        full = GaussianProcess(kernel=make_kernel(kernel_name, dim), restarts=0)
+        full.fit(x, y, optimize_hypers=False)
+
+        x_star = rng.random((8, dim))
+        mean_inc, var_inc = incremental.predict(x_star)
+        mean_full, var_full = full.predict(x_star)
+        assert np.allclose(mean_inc, mean_full, atol=1e-8, rtol=0)
+        assert np.allclose(var_inc, var_full, atol=1e-8, rtol=0)
+        assert incremental.log_marginal_likelihood() == pytest.approx(
+            full.log_marginal_likelihood(), abs=1e-8
+        )
+        assert incremental.num_observations == n_old + m
+
+    def test_extend_one_point_at_a_time_matches_batch_fit(self):
+        rng = np.random.default_rng(3)
+        x = rng.random((12, 2))
+        y = np.sin(4 * x[:, 0]) - x[:, 1]
+        gp = GaussianProcess(restarts=0).fit(x[:4], y[:4], optimize_hypers=False)
+        for i in range(4, 12):
+            gp.extend(x[i : i + 1], y[i : i + 1])
+        full = GaussianProcess(restarts=0).fit(x, y, optimize_hypers=False)
+        x_star = rng.random((5, 2))
+        assert np.allclose(gp.predict(x_star)[0], full.predict(x_star)[0], atol=1e-8)
+        assert gp.extend_fallbacks == 0
+
+    def test_extend_before_fit_raises(self):
+        with pytest.raises(GPFitError):
+            GaussianProcess().extend(np.zeros((1, 2)), np.zeros(1))
+
+    def test_extend_validates_inputs(self):
+        gp = GaussianProcess(restarts=0).fit(np.zeros((3, 2)), np.arange(3.0))
+        with pytest.raises(ValueError):
+            gp.extend(np.zeros((2, 2)), np.zeros(3))  # row mismatch
+        with pytest.raises(ValueError):
+            gp.extend(np.zeros((1, 4)), np.zeros(1))  # dim mismatch
+        with pytest.raises(GPFitError):
+            gp.extend(np.array([[np.nan, 0.0]]), np.zeros(1))
+
+    def test_degenerate_extension_falls_back_to_jitter_escalation(self):
+        """A duplicate input at tiny noise cannot extend the cached factor.
+
+        The Schur pivot collapses to ~noise, far below the stability
+        floor; extend() must detect the degeneracy, rebuild with the
+        escalating-jitter ladder, and still produce a posterior that
+        matches a from-scratch refit.
+        """
+        rng = np.random.default_rng(0)
+        x = rng.random((10, 3))
+        y = rng.standard_normal(10)
+        gp = GaussianProcess(
+            kernel=make_kernel("matern52", 3),
+            noise_variance=1e-10,
+            fit_noise=False,
+            restarts=0,
+        ).fit(x, y, optimize_hypers=False)
+        gp.extend(x[4:5], y[4:5])  # exact duplicate of a training row
+        assert gp.extend_fallbacks == 1
+        assert gp.num_observations == 11
+
+        full = GaussianProcess(
+            kernel=make_kernel("matern52", 3),
+            noise_variance=1e-10,
+            fit_noise=False,
+            restarts=0,
+        ).fit(np.vstack((x, x[4:5])), np.concatenate((y, y[4:5])),
+              optimize_hypers=False)
+        x_star = rng.random((6, 3))
+        assert np.allclose(gp.predict(x_star)[0], full.predict(x_star)[0], atol=1e-6)
+
+    def test_jitter_escalates_on_singular_covariance(self):
+        from repro.core.gp import _chol_with_jitter
+
+        # Rank-one matrix pushed slightly indefinite: the first jitter
+        # level (1e-10) cannot rescue it, so the ladder must escalate.
+        matrix = np.ones((4, 4)) - 1e-8 * np.eye(4)
+        chol, jitter = _chol_with_jitter(matrix)
+        assert jitter > 1e-10
+        assert np.all(np.isfinite(chol))
+
+
+class TestAnalyticGradients:
+    """Closed-form LML gradients must match central finite differences."""
+
+    @pytest.mark.parametrize("kernel_name", ["rbf", "matern52"])
+    @pytest.mark.parametrize("fit_noise", [True, False])
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_gradient_matches_finite_differences(self, kernel_name, fit_noise, seed):
+        rng = np.random.default_rng(seed)
+        dim = 3
+        x = rng.random((15, dim))
+        y = np.sin(3 * x[:, 0]) + 0.5 * x[:, 1] + 0.1 * rng.standard_normal(15)
+        gp = GaussianProcess(
+            kernel=make_kernel(kernel_name, dim), fit_noise=fit_noise, restarts=0
+        )
+        gp.fit(x, y, optimize_hypers=False)
+        # Perturb away from the defaults but stay inside the optimiser's
+        # bounds (where the clipping in set_log_params is inactive).
+        params = gp._log_params() + 0.2 * rng.standard_normal(
+            gp._log_params().shape
+        )
+        value, grad = gp._neg_log_marginal(params.copy(), jac=True)
+        assert np.isfinite(value)
+        eps = 1e-6
+        for j in range(len(params)):
+            plus, minus = params.copy(), params.copy()
+            plus[j] += eps
+            minus[j] -= eps
+            fd = (gp._neg_log_marginal(plus) - gp._neg_log_marginal(minus)) / (2 * eps)
+            assert grad[j] == pytest.approx(fd, rel=1e-4, abs=1e-6)
+
+    def test_grad_log_params_shape(self):
+        x = np.random.default_rng(0).random((7, 4))
+        for kernel_cls in (RBF, Matern52):
+            grads = kernel_cls(4).grad_log_params(x)
+            assert grads.shape == (5, 7, 7)
+            # Slice 0 (d/d log variance) is the covariance matrix itself.
+            assert np.allclose(grads[0], kernel_cls(4)(x, x))
+
+    def test_analytic_and_fd_fits_agree(self):
+        rng = np.random.default_rng(1)
+        x = rng.random((18, 2))
+        y = np.sin(5 * x[:, 0]) + x[:, 1] ** 2
+        analytic = GaussianProcess(restarts=2, analytic_gradients=True).fit(x, y)
+        fd = GaussianProcess(restarts=2, analytic_gradients=False).fit(x, y)
+        # Both optimisers should land at (near-)equivalent optima.
+        assert analytic.log_marginal_likelihood() == pytest.approx(
+            fd.log_marginal_likelihood(), abs=0.5
+        )
