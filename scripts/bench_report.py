@@ -49,11 +49,41 @@ def _lookup(results, metric):
     return float(node)
 
 
+PREFERRED_SECTION_ORDER = ("propose", "batch", "hyperfit", "fleet")
+_META_KEYS = {"schema", "quick", "config"}
+
+
+def _sections(results):
+    """Table sections of a benchmark JSON: every dict-of-dicts data key.
+
+    Known sections render in their preferred order; any section a newer
+    schema adds still renders (after them, in name order) instead of being
+    silently dropped.
+    """
+    names = [
+        key
+        for key, value in results.items()
+        if key not in _META_KEYS
+        and isinstance(value, dict)
+        and value
+        and all(isinstance(cell, dict) for cell in value.values())
+    ]
+    return sorted(
+        names,
+        key=lambda name: (
+            PREFERRED_SECTION_ORDER.index(name)
+            if name in PREFERRED_SECTION_ORDER
+            else len(PREFERRED_SECTION_ORDER),
+            name,
+        ),
+    )
+
+
 def render(results):
     lines = []
     quick = " (quick)" if results.get("quick") else ""
     lines.append(f"# {results.get('schema', 'benchmark')}{quick}")
-    for section in ("propose", "batch", "hyperfit"):
+    for section in _sections(results):
         cells = results.get(section)
         if not cells:
             continue

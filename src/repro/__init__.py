@@ -41,12 +41,37 @@ worker's own timeline without it::
     )
     print(result.total_cost_s, result.total_wall_clock_s)
 
+Fleet sharding
+--------------
+
+A session can fan across several simulated clusters at once: an
+:class:`~repro.core.fleet.EnvironmentPool` names each environment *shard*,
+gives it a probe-slot capacity and a probe-speed multiplier, and a
+pluggable :class:`~repro.core.fleet.ShardScheduler` (round-robin,
+least-loaded, or cost-aware cheapest-eligible) places every launch.
+Trials record the shard they ran on and the machine bill is itemised per
+shard (``result.history.cost_by_shard()``)::
+
+    from repro.core import EnvironmentPool, EnvironmentShard, executor_for
+
+    pool = EnvironmentPool([
+        EnvironmentShard("baseline", env_a),
+        EnvironmentShard("spot", env_b, capacity=2, cost_multiplier=1.5),
+    ])
+    result = MLConfigTuner().run(
+        None, ml_config_space(16), TuningBudget(max_trials=40),
+        executor=executor_for(4, "async", pool=pool),
+    )
+
 The CLI exposes the same axes: ``python -m repro tune --workers 4
 --executor async`` probes on a four-worker free-list, ``--max-wall-hours``
-caps the stopwatch (``TuningBudget.max_wall_clock_s``), and ``--trial-log
-PATH`` streams every trial as JSON lines for offline analysis.  The
-``P1``/``P2`` experiments (``python -m repro experiment --id P1``)
-tabulate the sync-vs-async wall-clock speedups and worker utilisation.
+caps the stopwatch (``TuningBudget.max_wall_clock_s``), ``--trial-log
+PATH`` streams every trial as JSON lines for offline analysis, and
+``--shards N`` / ``--shard-spec "std-cpu:16,gpu-v100:8x2@0.5"`` (with
+``--scheduler``) fan the session across a fleet.  The ``P1``/``P2``/``P4``
+experiments (``python -m repro experiment --id P4``) tabulate the
+sync-vs-async wall-clock speedups, worker utilisation, and the
+heterogeneous-fleet matched-quality speedup.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
@@ -54,6 +79,8 @@ paper-vs-measured record.
 
 from repro.core import (
     AsyncExecutor,
+    EnvironmentPool,
+    EnvironmentShard,
     MLConfigTuner,
     ParallelExecutor,
     SearchStrategy,
@@ -69,6 +96,8 @@ __version__ = "0.1.0"
 
 __all__ = [
     "AsyncExecutor",
+    "EnvironmentPool",
+    "EnvironmentShard",
     "MLConfigTuner",
     "ParallelExecutor",
     "SearchStrategy",

@@ -89,13 +89,21 @@ class CherryPick(SearchStrategy):
         pending,
         space: ConfigSpace,
         rng: np.random.Generator,
+        shard=None,
     ) -> ConfigDict:
         """Constant-liar single proposal over in-flight probes.
 
         The EI-threshold check runs on the fantasy-extended fit, so an
         asynchronous session converges on the same signal as a serial one.
+        On a fleet, the fantasies lie with the target shard's probe speed.
         """
-        config = constant_liar_async(self._ensure_proposer(space), history, pending, rng)
+        config = constant_liar_async(
+            self._ensure_proposer(space),
+            history,
+            pending,
+            rng,
+            cost_scale=shard.cost_multiplier if shard is not None else 1.0,
+        )
         self._maybe_stop(history)
         return config
 

@@ -138,6 +138,7 @@ class SuccessiveHalving(SearchStrategy):
         pending: List[ConfigDict],
         space: ConfigSpace,
         rng: np.random.Generator,
+        shard=None,
     ) -> Optional[ConfigDict]:
         """One member of the current rung, or ``None`` at a rung boundary.
 

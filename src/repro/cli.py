@@ -32,7 +32,7 @@ from repro.baselines import (
 )
 from repro.cluster import homogeneous
 from repro.configspace import ml_config_space
-from repro.core import EXECUTOR_MODES, MLConfigTuner, TuningBudget
+from repro.core import EXECUTOR_MODES, MLConfigTuner, SCHEDULERS, TuningBudget
 from repro.mlsim import TrainingEnvironment
 from repro.workloads import SUITE, get_workload
 
@@ -83,6 +83,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "barrier-free (each worker pulls a new proposal when it frees up)",
     )
     tune.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="fan the session across N homogeneous environment shards "
+        "(replicas of the --nodes cluster, one probe slot each)",
+    )
+    tune.add_argument(
+        "--shard-spec", default=None, metavar="SPEC",
+        help="heterogeneous fleet: comma-separated shards, each "
+        "NODE_TYPE:NODES[xCAPACITY][@COST_MULT], e.g. "
+        "'std-cpu:16,std-cpu:16x2@1.5,gpu-v100:8@0.5' (overrides --shards)",
+    )
+    tune.add_argument(
+        "--scheduler", default="roundrobin", choices=sorted(SCHEDULERS),
+        help="shard placement policy for --shards/--shard-spec fleets",
+    )
+    tune.add_argument(
         "--max-wall-hours", type=float, default=None, metavar="H",
         help="additionally cap the session's simulated wall-clock at H hours",
     )
@@ -110,6 +125,51 @@ def _cmd_describe_space(nodes: int) -> int:
     return 0
 
 
+def _build_pool(args, workload):
+    """The EnvironmentPool for --shards / --shard-spec, or None."""
+    from repro.core.fleet import (
+        EnvironmentPool,
+        EnvironmentShard,
+        make_scheduler,
+        parse_shard_spec,
+    )
+
+    env_args = dict(fidelity=args.fidelity, objective_name=args.objective)
+    if args.shard_spec:
+        recipes = parse_shard_spec(args.shard_spec)
+        shards = []
+        for i, recipe in enumerate(recipes):
+            cluster = homogeneous(
+                recipe["nodes"],
+                spec=recipe["node_type"],
+                straggler_fraction=args.straggler_fraction,
+            )
+            shards.append(
+                EnvironmentShard(
+                    f"shard{i}-{recipe['node_type']}",
+                    TrainingEnvironment(
+                        workload, cluster, seed=args.seed + i, **env_args
+                    ),
+                    capacity=recipe["capacity"],
+                    cost_multiplier=recipe["cost_multiplier"],
+                )
+            )
+        return EnvironmentPool(shards, scheduler=make_scheduler(args.scheduler))
+    if args.shards:
+        cluster = homogeneous(
+            args.nodes, straggler_fraction=args.straggler_fraction
+        )
+        shards = [
+            EnvironmentShard(
+                f"shard{i}",
+                TrainingEnvironment(workload, cluster, seed=args.seed + i, **env_args),
+            )
+            for i in range(args.shards)
+        ]
+        return EnvironmentPool(shards, scheduler=make_scheduler(args.scheduler))
+    return None
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     from repro.core.session import JsonlTrialLog, executor_for
 
@@ -122,25 +182,51 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     if args.max_wall_hours is not None and args.max_wall_hours <= 0:
         print("--max-wall-hours must be positive", file=sys.stderr)
         return 2
+    if args.shards is not None and args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
     if args.trial_log:
         log_dir = os.path.dirname(os.path.abspath(args.trial_log))
         if not os.path.isdir(log_dir):
             print(f"--trial-log: directory {log_dir!r} does not exist", file=sys.stderr)
             return 2
     workload = get_workload(args.workload)
-    cluster = homogeneous(
-        args.nodes, straggler_fraction=args.straggler_fraction
-    )
-    env = TrainingEnvironment(
-        workload,
-        cluster,
-        seed=args.seed,
-        fidelity=args.fidelity,
-        objective_name=args.objective,
-    )
+    try:
+        pool = _build_pool(args, workload)
+    except (ValueError, KeyError) as exc:
+        print(f"--shard-spec: {exc}", file=sys.stderr)
+        return 2
     space = ml_config_space(args.nodes)
     strategy = STRATEGIES[args.strategy](args.seed)
-    executor = executor_for(args.workers, mode=args.executor)
+    if pool is not None:
+        # A fleet always fans out over the pool's slots; the session probes
+        # the shards concurrently in the chosen executor mode.  Note the
+        # configuration space still spans --nodes: a config too large for a
+        # smaller --shard-spec shard fails there, exactly as on real
+        # mismatched hardware.
+        if args.workers > 1:
+            print(
+                f"note: fleet concurrency comes from the pool's "
+                f"{pool.total_capacity} shard slot(s); --workers "
+                f"{args.workers} is ignored (size shard capacities instead)",
+                file=sys.stderr,
+            )
+        env = None
+        executor = executor_for(
+            pool.total_capacity, mode=args.executor, pool=pool
+        )
+    else:
+        cluster = homogeneous(
+            args.nodes, straggler_fraction=args.straggler_fraction
+        )
+        env = TrainingEnvironment(
+            workload,
+            cluster,
+            seed=args.seed,
+            fidelity=args.fidelity,
+            objective_name=args.objective,
+        )
+        executor = executor_for(args.workers, mode=args.executor)
     callbacks = [JsonlTrialLog(args.trial_log)] if args.trial_log else []
     max_wall_s = (
         args.max_wall_hours * 3600.0 if args.max_wall_hours is not None else None
@@ -164,14 +250,26 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         print(f"best     : {-result.best_objective / 3600:.2f} hours to target accuracy")
     print(f"trials   : {result.num_trials} "
           f"({result.total_cost_s / 3600:.2f} simulated machine-hours probing)")
-    mode = "serial" if args.workers == 1 else args.executor
+    slots = executor.workers
+    mode = "serial" if slots == 1 else args.executor
     shape = (
         "barrier-free" if mode == "async"
         else f"{result.history.num_rounds} rounds"
     )
     print(f"wall     : {result.total_wall_clock_s / 3600:.2f} simulated hours "
-          f"({args.workers} worker{'s' if args.workers != 1 else ''}, "
+          f"({slots} worker{'s' if slots != 1 else ''}, "
           f"{mode}, {shape})")
+    if pool is not None:
+        print(f"fleet    : {len(pool.shards)} shards "
+              f"({pool.total_capacity} slots, {args.scheduler} scheduler)")
+        cost_by_shard = result.history.cost_by_shard()
+        for shard in pool.shards:
+            cost_h = cost_by_shard.get(shard.name, 0.0) / 3600.0
+            probes = sum(1 for t in result.history if t.shard == shard.name)
+            print(f"  {shard.name:>20} : {probes:3d} probes, "
+                  f"{cost_h:.2f} machine-hours "
+                  f"(x{shard.cost_multiplier:g} probe duration, "
+                  f"{shard.capacity} slot{'s' if shard.capacity != 1 else ''})")
     if args.trial_log:
         print(f"trial log: {args.trial_log}")
     print("configuration:")

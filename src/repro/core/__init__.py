@@ -9,6 +9,18 @@ from repro.core.acquisition import (
     upper_confidence_bound,
 )
 from repro.core.bo import BayesianProposer
+from repro.core.fleet import (
+    CheapestEligibleScheduler,
+    EnvironmentPool,
+    EnvironmentShard,
+    LeastLoadedScheduler,
+    RoundRobinScheduler,
+    SCHEDULERS,
+    ShardDescriptor,
+    ShardScheduler,
+    make_scheduler,
+    parse_shard_spec,
+)
 from repro.core.gp import GaussianProcess, GPFitError
 from repro.core.importance import fit_surrogate, knob_importance, ranked_knobs
 from repro.core.kernels import KERNELS, Kernel, Matern52, RBF, make_kernel
@@ -70,9 +82,19 @@ __all__ = [
     "TargetRule",
     "WallClockCapRule",
     "AsyncExecutor",
+    "CheapestEligibleScheduler",
     "EXECUTOR_MODES",
+    "EnvironmentPool",
+    "EnvironmentShard",
     "Executor",
     "JsonlTrialLog",
+    "LeastLoadedScheduler",
+    "RoundRobinScheduler",
+    "SCHEDULERS",
+    "ShardDescriptor",
+    "ShardScheduler",
+    "make_scheduler",
+    "parse_shard_spec",
     "ParallelExecutor",
     "ProgressLogger",
     "SerialExecutor",

@@ -156,6 +156,16 @@ class BayesianProposer:
         appends (see the module docstring).  ``False`` rebuilds every
         surrogate per call — kept as the (conservative) benchmark
         baseline.
+    shard_cost_feature:
+        Condition the ``"eipc"`` cost surrogate on the environment shard a
+        trial ran on: the cost GP's input gains one extra dimension — the
+        shard's ``cost_multiplier`` (looked up via
+        :meth:`set_shard_weights`; 1.0 for shard-less trials) — and
+        candidate scoring predicts probe cost at the *target* shard's
+        multiplier (the ``shard_weight`` argument of :meth:`propose`).
+        On a heterogeneous fleet this keeps a slow shard's probes from
+        inflating the predicted cost of probing the same point on a fast
+        shard.  Off by default; irrelevant outside pool execution.
     """
 
     def __init__(
@@ -171,6 +181,7 @@ class BayesianProposer:
         refit_every: int = 3,
         log_objective: str = "never",
         reuse_surrogate: bool = True,
+        shard_cost_feature: bool = False,
         seed: int = 0,
     ) -> None:
         if n_initial < 2:
@@ -196,13 +207,25 @@ class BayesianProposer:
         self.refit_every = refit_every
         self.log_objective = log_objective
         self.reuse_surrogate = reuse_surrogate
+        self.shard_cost_feature = shard_cost_feature
         self.seed = seed
         self._initial_design: Optional[List[ConfigDict]] = None
         self._last_refit_at = -1
         self._log_active = False
         self._objective_cache = _SurrogateCache()
         self._cost_cache = _SurrogateCache()
+        self._shard_weights: dict = {}
+        self._target_shard_weight: Optional[float] = None
         self.last_fit_diagnostics: dict = {}
+
+    def set_shard_weights(self, weights: dict) -> None:
+        """Register shard-name → ``cost_multiplier`` mappings.
+
+        Used by the shard cost feature to encode which shard each recorded
+        trial ran on; unknown shards (and fantasies, which carry no shard)
+        default to the baseline multiplier 1.0.
+        """
+        self._shard_weights.update(weights)
 
     # -- training-set assembly ------------------------------------------------
 
@@ -243,9 +266,19 @@ class BayesianProposer:
     # -- proposal ------------------------------------------------------------
 
     def propose(
-        self, history: TrialHistory, rng: np.random.Generator
+        self,
+        history: TrialHistory,
+        rng: np.random.Generator,
+        shard_weight: Optional[float] = None,
     ) -> ConfigDict:
-        """The next configuration to probe."""
+        """The next configuration to probe.
+
+        ``shard_weight`` is the target shard's ``cost_multiplier`` when
+        the caller knows where the probe will run; the shard-conditioned
+        cost surrogate (``shard_cost_feature=True``) then predicts probe
+        cost at that shard.  Ignored otherwise.
+        """
+        self._target_shard_weight = shard_weight
         if len(history) < self.n_initial:
             return self._initial_point(len(history), rng)
         try:
@@ -354,11 +387,32 @@ class BayesianProposer:
             return self.acquisition(mu, sigma, incumbent, beta=self.beta)
         # eipc: improvement per predicted probe second.
         if cost_model is not None:
-            log_cost, _ = cost_model.predict(x)
+            cost_x = x
+            if self.shard_cost_feature:
+                # Predict probe cost at the *target* shard's multiplier
+                # (baseline 1.0 when the caller named no shard).
+                weight = (
+                    self._target_shard_weight
+                    if self._target_shard_weight is not None
+                    else 1.0
+                )
+                cost_x = np.hstack([x, np.full((x.shape[0], 1), float(weight))])
+            log_cost, _ = cost_model.predict(cost_x)
             cost = np.exp(np.clip(log_cost, -2.0, 20.0))
         else:
             cost = np.ones(len(candidates))
         return self.acquisition(mu, sigma, incumbent, cost=cost, xi=self.xi)
+
+    def _row_weight(self, trial) -> float:
+        """The shard cost multiplier a training row is encoded at."""
+        if trial.shard is not None:
+            return float(self._shard_weights.get(trial.shard, 1.0))
+        if (
+            trial.measurement.fidelity == "fantasy"
+            and self._target_shard_weight is not None
+        ):
+            return float(self._target_shard_weight)
+        return 1.0
 
     def _fit_cost_model(
         self, history: TrialHistory, refit_due: bool
@@ -367,6 +421,16 @@ class BayesianProposer:
         if len(successes) < 3:
             return None
         x = self.space.encode_batch([t.config for t in successes])
+        if self.shard_cost_feature:
+            # One extra input dimension: the cost multiplier of the shard
+            # each probe ran on (1.0 for shard-less trials).  Fantasies
+            # carry no shard but their probe-cost lie was scaled by the
+            # *target* shard's multiplier (repro.core.parallel), so they
+            # must be encoded at that same weight — encoding a 1.5x-priced
+            # lie at weight 1.0 would teach the GP that baseline probes
+            # cost 1.5x the median.
+            weights = np.array([[self._row_weight(t)] for t in successes])
+            x = np.hstack([x, weights])
         log_cost = np.log(
             np.array([max(1e-3, t.measurement.probe_cost_s) for t in successes])
         )
@@ -375,12 +439,13 @@ class BayesianProposer:
         # Without surrogate reuse the pre-optimisation behaviour is kept:
         # a full hyperparameter fit on every single call.
         optimize = refit_due if self.reuse_surrogate else True
+        dims = x.shape[1]
         try:
             return self._cost_cache.update(
                 x,
                 log_cost,
                 factory=lambda: GaussianProcess(
-                    kernel=make_kernel(self.kernel_name, self.space.dims),
+                    kernel=make_kernel(self.kernel_name, dims),
                     seed=self.seed + 1,
                 ),
                 optimize=optimize,

@@ -156,6 +156,8 @@ def propose_async(
     pending: Sequence[ConfigDict],
     rng: np.random.Generator,
     lie: str = "incumbent",
+    cost_scale: float = 1.0,
+    shard_weight: Optional[float] = None,
 ) -> ConfigDict:
     """Propose one configuration conditioned on in-flight probes.
 
@@ -164,16 +166,32 @@ def propose_async(
     probing ``pending`` — fantasising those as constant-liar observations
     steers the acquisition away from points already being evaluated.  With
     no pending probes this is a plain sequential proposal.
+
+    ``cost_scale`` scales the probe-cost lie to the target shard's probe
+    speed when the session fans across a heterogeneous
+    :class:`~repro.core.fleet.EnvironmentPool` (a fantasy on a 1.5x shard
+    commits 1.5x the median machine seconds); ``shard_weight`` is
+    forwarded to the proposer so a shard-conditioned cost surrogate can
+    predict probe cost *at the target shard* (see
+    :class:`~repro.core.bo.BayesianProposer`).  Deliberate
+    approximation: every pending fantasy is priced at the *target*
+    shard's scale, not at the shard each in-flight probe actually
+    occupies (the strategy-facing ``pending`` contract carries
+    configurations only) — with the shard cost feature on, the fantasy
+    rows are encoded at the same target weight, so the surrogate's
+    weight→cost relationship stays internally consistent.
     """
     if lie not in ("incumbent", "mean"):
         raise ValueError(f"lie must be 'incumbent' or 'mean', got {lie!r}")
+    if cost_scale <= 0:
+        raise ValueError(f"cost_scale must be positive, got {cost_scale!r}")
     if not pending:
-        return proposer.propose(history, rng)
+        return proposer.propose(history, rng, shard_weight=shard_weight)
     lie_value, cost_lie = _fantasy_lies(history, lie)
     extended = history.clone()
     for config in pending:
-        _append_fantasy(extended, config, lie_value, cost_lie)
-    return proposer.propose(extended, rng)
+        _append_fantasy(extended, config, lie_value, cost_lie * cost_scale)
+    return proposer.propose(extended, rng, shard_weight=shard_weight)
 
 
 def run_parallel_round(

@@ -23,6 +23,19 @@ history, and RNG, and delegates *how probes execute* to an
   wall-clock is each worker's own timeline, so heterogeneous probe
   durations no longer leave K-1 workers idle behind a round's straggler.
 
+Every executor can additionally fan the session across an
+:class:`~repro.core.fleet.EnvironmentPool` — a fleet of named environment
+shards with per-shard capacities and probe-speed multipliers.  With
+``pool=`` set, probe dispatch goes through the pool's
+:class:`~repro.core.fleet.ShardScheduler`, worker slots become *shard*
+slots (so per-shard wall-clock timelines replace the single environment's
+timeline), every trial records the shard it ran on (``Trial.shard``,
+itemised by :meth:`~repro.core.trial.TrialHistory.cost_by_shard`), and
+asynchronous proposals receive the target shard's descriptor so
+constant-liar fantasies can lie with shard-specific probe cost.
+``pool=None`` (the default) keeps single-environment semantics
+bit-identical to the pre-fleet code.
+
 Sessions also emit lifecycle events to :class:`SessionCallback` observers;
 :class:`ProgressLogger` (per-round progress lines) and
 :class:`JsonlTrialLog` (a JSONL sink for offline analysis) ship here.
@@ -46,6 +59,7 @@ from typing import IO, List, Optional, Sequence, TextIO
 import numpy as np
 
 from repro.configspace import ConfigDict, ConfigSpace
+from repro.core.fleet import EnvironmentPool, EnvironmentShard
 from repro.core.strategy import SearchStrategy, TuningBudget, TuningResult
 from repro.core.trial import Trial, TrialHistory
 from repro.mlsim import TrainingEnvironment
@@ -190,6 +204,7 @@ class JsonlTrialLog(SessionCallback):
                 "index": trial.index,
                 "launch": trial.launch_index,
                 "round": trial.round_index,
+                "shard": trial.shard,
                 "config": trial.config,
                 "ok": trial.ok,
                 "objective": None if trial.objective is None else float(trial.objective),
@@ -207,31 +222,55 @@ class JsonlTrialLog(SessionCallback):
             # truncate the log to a lone session_end record.
             return
         best = result.best_objective
-        self._write(
-            {
-                "event": "session_end",
-                "num_trials": result.num_trials,
-                "best_objective": None if best is None else float(best),
-                "total_cost_s": float(result.total_cost_s),
-                "total_wall_clock_s": float(result.history.total_wall_clock_s),
+        payload = {
+            "event": "session_end",
+            "num_trials": result.num_trials,
+            "best_objective": None if best is None else float(best),
+            "total_cost_s": float(result.total_cost_s),
+            "total_wall_clock_s": float(result.history.total_wall_clock_s),
+        }
+        if result.history.cancelled_cost_s > 0:
+            payload["cancelled_cost_s"] = float(result.history.cancelled_cost_s)
+        cost_by_shard = result.history.cost_by_shard()
+        if any(shard is not None for shard in cost_by_shard):
+            # Fleet sessions: itemise the machine bill per shard so the log
+            # alone reconstructs where the probe seconds went.  Non-pool
+            # cost (the None key) is labelled "unsharded".
+            payload["cost_by_shard"] = {
+                (shard if shard is not None else "unsharded"): float(cost)
+                for shard, cost in sorted(
+                    cost_by_shard.items(), key=lambda item: item[0] or ""
+                )
             }
-        )
+        self._write(payload)
         self._handle.close()
         self._handle = None
 
 
 class Executor(ABC):
-    """How one round of probes executes against the environment."""
+    """How one round of probes executes against the environment.
+
+    Executors constructed with ``pool=`` dispatch probes through an
+    :class:`~repro.core.fleet.EnvironmentPool` instead of the single
+    environment passed to :meth:`run_round` (which may then be ``None``):
+    the pool's scheduler picks the shard, the shard's environment runs the
+    probe, and the recorded trial carries the shard name.
+    """
 
     workers: int = 1
+    pool: Optional[EnvironmentPool] = None
 
-    def reset(self) -> None:
+    def reset(self, seed: int = 0) -> None:
         """Hook: clear per-session state (called at the start of every run).
 
         Stateful executors (the async free-list) must override this so a
         reused instance does not leak in-flight probes or worker timelines
-        from a previous session.
+        from a previous session; overrides must call ``super().reset(seed)``
+        so an attached pool re-derives its per-shard RNG streams from the
+        session seed and rewinds occupancy and environment counters.
         """
+        if self.pool is not None:
+            self.pool.reset(seed)
 
     def has_pending(self) -> bool:
         """Hook: True while launched-but-unrecorded probes are in flight.
@@ -269,13 +308,36 @@ class Executor(ABC):
 
 
 class SerialExecutor(Executor):
-    """One probe per round — the seed's exact serial semantics."""
+    """One probe per round — the seed's exact serial semantics.
+
+    With a pool, each probe is placed on the shard the scheduler picks
+    (one at a time, so the pool is never saturated); the wall-clock stays
+    the serial sum of probe costs.  A homogeneous pool over one shared
+    environment reproduces the single-environment trial sequence
+    bit-identically, whatever the shard rotation.
+    """
+
+    def __init__(self, pool: Optional[EnvironmentPool] = None) -> None:
+        self.pool = pool
 
     def run_round(self, strategy, env, space, history, rng, budget, events):
+        shard: Optional[EnvironmentShard] = None
+        if self.pool is not None:
+            shard = self.pool.scheduler.select(self.pool)
+            if shard is None:
+                return []
         config = strategy.propose(history, space, rng)
         events.trial_start(len(history), config)
-        measurement = strategy.measure(env, config)
-        trial = history.record(config, measurement)
+        if shard is None:
+            measurement = strategy.measure(env, config)
+            trial = history.record(config, measurement)
+        else:
+            self.pool.acquire(shard.name)
+            try:
+                measurement = shard.measure(strategy, config)
+            finally:
+                self.pool.release(shard.name)
+            trial = history.record(config, measurement, shard=shard.name)
         strategy.observe(trial)
         events.trial_end(trial)
         return [trial]
@@ -298,12 +360,33 @@ class ParallelExecutor(Executor):
     probes that drive the gate finish in the first fraction of the round,
     long before the round barrier.  Only the wall-clock accounting treats
     the round as concurrent.
+
+    With a pool, the round width is the pool's total slot capacity and
+    every member is placed on a shard (acquired for the whole round — the
+    barrier holds all slots until the round closes); probe durations then
+    reflect each shard's ``cost_multiplier`` and trials carry the shard
+    name.
     """
 
-    def __init__(self, workers: int) -> None:
-        if workers < 1:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        pool: Optional[EnvironmentPool] = None,
+    ) -> None:
+        if pool is not None:
+            self.workers = pool.total_capacity if workers is None else workers
+            if self.workers > pool.total_capacity:
+                raise ValueError(
+                    f"workers ({self.workers}) exceed the pool's total "
+                    f"capacity ({pool.total_capacity})"
+                )
+        else:
+            if workers is None:
+                raise ValueError("workers is required without a pool")
+            self.workers = workers
+        if self.workers < 1:
             raise ValueError("workers must be >= 1")
-        self.workers = workers
+        self.pool = pool
 
     def run_round(self, strategy, env, space, history, rng, budget, events):
         k = self.workers
@@ -316,43 +399,92 @@ class ParallelExecutor(Executor):
             return []
         round_index = history.num_rounds
         round_start_wall_s = history.total_wall_clock_s
-        for offset, config in enumerate(batch):
-            events.trial_start(len(history) + offset, config)
+        shards: List[Optional[EnvironmentShard]] = []
         trials = []
         round_wall_s = 0.0
-        for config in batch:
-            measurement = strategy.measure(env, config)
-            # The session total advances by the running round maximum (the
-            # slowest member so far — exactly the round's slowest probe
-            # once the round completes), while each trial is stamped with
-            # its own physical completion time: round start plus its own
-            # probe cost, independent of batch order.
-            new_wall_s = max(round_wall_s, measurement.probe_cost_s)
-            trial = history.record(
-                config,
-                measurement,
-                wall_clock_s=new_wall_s - round_wall_s,
-                round_index=round_index,
-                completed_at_wall_s=round_start_wall_s + measurement.probe_cost_s,
-            )
-            round_wall_s = new_wall_s
-            strategy.observe(trial)
-            events.trial_end(trial)
-            trials.append(trial)
-            # A cost-bounded budget stops mid-round (remaining members are
-            # cancelled), capping overshoot at one probe — as in serial.
-            # A wall-clock cap deliberately does NOT cancel mid-round: the
-            # whole batch launched at the round start, before the cap could
-            # gate anything, and members record in batch order rather than
-            # completion order — cancelling on the running wall total would
-            # drop probes that physically completed before the cap whenever
-            # a slow member happens to record first.  The cap instead stops
-            # the session at the round boundary (the loop's budget check).
-            if (
-                budget.max_cost_s is not None
-                and history.total_cost_s >= budget.max_cost_s
-            ):
-                break
+        try:
+            # All members launch at the round start, so shard slots are
+            # assigned up front (and held until the round closes — the
+            # synchronous barrier occupies its machines for the whole
+            # round).  Assignment happens inside the try so a scheduler
+            # failing mid-round cannot leak the slots already acquired.
+            for _ in batch:
+                if self.pool is None:
+                    shards.append(None)
+                    continue
+                shard = self.pool.scheduler.select(self.pool)
+                if shard is None:
+                    raise RuntimeError(
+                        "pool saturated mid-assignment: scheduler returned no "
+                        "shard for a round within the pool's total capacity"
+                    )
+                self.pool.acquire(shard.name)
+                shards.append(shard)
+            for offset, config in enumerate(batch):
+                events.trial_start(len(history) + offset, config)
+            for member, (config, shard) in enumerate(zip(batch, shards)):
+                if shard is None:
+                    measurement = strategy.measure(env, config)
+                else:
+                    measurement = shard.measure(strategy, config)
+                # The session total advances by the running round maximum (the
+                # slowest member so far — exactly the round's slowest probe
+                # once the round completes), while each trial is stamped with
+                # its own physical completion time: round start plus its own
+                # probe cost, independent of batch order.
+                new_wall_s = max(round_wall_s, measurement.probe_cost_s)
+                trial = history.record(
+                    config,
+                    measurement,
+                    wall_clock_s=new_wall_s - round_wall_s,
+                    round_index=round_index,
+                    completed_at_wall_s=round_start_wall_s + measurement.probe_cost_s,
+                    shard=None if shard is None else shard.name,
+                )
+                round_wall_s = new_wall_s
+                strategy.observe(trial)
+                events.trial_end(trial)
+                trials.append(trial)
+                # A cost-bounded budget stops mid-round: the remaining members
+                # are cancelled, capping overshoot at one *recorded* probe — as
+                # in serial.  Cancellation is not free: every member launched
+                # at the round start, so each cancelled member's slot was
+                # occupied from the round start until the cancellation order
+                # went out — the round's latest completion so far (the running
+                # wall maximum, which covers the case where an earlier, slower
+                # member is what actually pushed the total over the cap).
+                # That elapsed wall-clock is billed as machine cost (itemised
+                # in ``cancelled_cost_s`` and under the member's shard); the
+                # cancelled probes were never measured, so the bill is the
+                # slot-occupancy time, the quantity a real cluster invoice
+                # charges for.
+                # A wall-clock cap deliberately does NOT cancel mid-round: the
+                # whole batch launched at the round start, before the cap could
+                # gate anything, and members record in batch order rather than
+                # completion order — cancelling on the running wall total would
+                # drop probes that physically completed before the cap whenever
+                # a slow member happens to record first.  The cap instead stops
+                # the session at the round boundary (the loop's budget check).
+                if (
+                    budget.max_cost_s is not None
+                    and history.total_cost_s >= budget.max_cost_s
+                ):
+                    elapsed = round_wall_s
+                    for cancelled_shard in shards[member + 1:]:
+                        history.charge_cancelled(
+                            elapsed,
+                            shard=(
+                                None
+                                if cancelled_shard is None
+                                else cancelled_shard.name
+                            ),
+                        )
+                    break
+        finally:
+            if self.pool is not None:
+                for shard in shards:
+                    if shard is not None:
+                        self.pool.release(shard.name)
         return trials
 
 
@@ -395,20 +527,54 @@ class AsyncExecutor(Executor):
     completion ordinal while ``on_trial_start`` carries the launch
     ordinal, and each trial's round is its own event step (``num_rounds``
     equals the number of completions).
+
+    With a pool, the worker slots are the pool's *shard* slots: a freed
+    slot belongs to a specific shard, the scheduler decides which shard's
+    slot to fill next, each launch hands the strategy the target shard's
+    descriptor (so constant-liar fantasies lie with shard-specific probe
+    cost), and each slot's timeline advances at its shard's own probe
+    speed — the per-shard wall-clock timelines that replace the single
+    environment's clock.
     """
 
-    def __init__(self, workers: int) -> None:
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
-        self.workers = workers
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        pool: Optional[EnvironmentPool] = None,
+    ) -> None:
+        if pool is not None:
+            # Async slots ARE the pool's shard slots, so a separate worker
+            # count is ambiguous (which shards would lose slots?).  Reject
+            # it rather than silently ignoring the requested concurrency.
+            if workers is not None:
+                raise ValueError(
+                    "workers is determined by the pool's total capacity; "
+                    "size the pool's shard capacities instead"
+                )
+            self.workers = pool.total_capacity
+        else:
+            if workers is None:
+                raise ValueError("workers is required without a pool")
+            if workers < 1:
+                raise ValueError("workers must be >= 1")
+            self.workers = workers
+        self.pool = pool
         self.reset()
 
-    def reset(self) -> None:
-        # Per-session state: free workers (by the time they freed up), the
-        # in-flight heap of (completion_s, launch ordinal, config,
-        # measurement, start_s), and the launch counter the budget gate
-        # checks.
-        self._free_at: List[float] = [0.0] * self.workers
+    def reset(self, seed: int = 0) -> None:
+        # Per-session state: free slots as (freed-up time, shard) pairs —
+        # shard is None without a pool — the in-flight heap of
+        # (completion_s, launch ordinal, config, measurement, start_s,
+        # shard), and the launch counter the budget gate checks.
+        super().reset(seed)
+        if self.pool is None:
+            self._slots: List[tuple] = [(0.0, None)] * self.workers
+        else:
+            self._slots = [
+                (0.0, shard)
+                for shard in self.pool.shards
+                for _ in range(shard.capacity)
+            ]
         self._in_flight: List[tuple] = []
         self._launched = 0
 
@@ -422,22 +588,47 @@ class AsyncExecutor(Executor):
         fired — the wall-clock stamp of the completion that exhausted it.
         Each in-flight probe is billed the wall-time between its launch
         and that instant, clamped to its own duration (a probe whose
-        completion coincides with the stop is billed in full), and the
-        in-flight list is cleared so a drained executor reports no
-        pending work.
+        completion coincides with the stop is billed in full) and
+        itemised under its shard, and the in-flight list is cleared so a
+        drained executor reports no pending work.
         """
         stop_wall_s = history.total_wall_clock_s
-        for _, _, _, measurement, start_s in self._in_flight:
+        for _, _, _, measurement, start_s, shard in self._in_flight:
             elapsed = min(
                 max(0.0, stop_wall_s - start_s),
                 max(0.0, measurement.probe_cost_s),
             )
-            history.charge_cancelled(elapsed)
+            history.charge_cancelled(
+                elapsed, shard=None if shard is None else shard.name
+            )
+            if shard is not None:
+                self.pool.release(shard.name)
         self._in_flight = []
 
     def _pending_configs(self) -> List[ConfigDict]:
         """In-flight configurations, in launch order."""
         return [entry[2] for entry in sorted(self._in_flight, key=lambda e: e[1])]
+
+    def _next_free_slot(self) -> Optional[int]:
+        """Index of the slot to fill next, or None when nothing may launch.
+
+        Without a pool: the earliest-freed slot, so each launch is
+        conditioned on exactly the trials completed by its start time.
+        With a pool: the scheduler picks the shard, then that shard's
+        earliest-freed slot — placement policy decides *where*, the
+        free-list still decides *when*.
+        """
+        if not self._slots:
+            return None
+        if self.pool is None:
+            return min(range(len(self._slots)), key=lambda i: self._slots[i][0])
+        shard = self.pool.scheduler.select(self.pool)
+        if shard is None:
+            return None
+        candidates = [i for i, slot in enumerate(self._slots) if slot[1] is shard]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda i: self._slots[i][0])
 
     def _may_launch(
         self,
@@ -462,10 +653,14 @@ class AsyncExecutor(Executor):
         return True
 
     def run_round(self, strategy, env, space, history, rng, budget, events):
-        # Fill every free worker, earliest-free first, so each launch is
+        # Fill every free slot (earliest-free first; the scheduler picks
+        # the shard when a pool is attached), so each launch is
         # conditioned on exactly the trials completed by its start time.
-        while self._free_at:
-            free_s = min(self._free_at)
+        while True:
+            slot_index = self._next_free_slot()
+            if slot_index is None:
+                break
+            free_s, shard = self._slots[slot_index]
             # A worker can sit idle past its free-time while launches are
             # gated — a stopping rule may un-finish when a draining probe
             # records a success (e.g. FailureStreakRule).  It re-launches
@@ -474,16 +669,37 @@ class AsyncExecutor(Executor):
             start_s = max(free_s, history.total_wall_clock_s)
             if not self._may_launch(start_s, strategy, history, space, budget):
                 break
-            config = strategy.propose_async(
-                history, self._pending_configs(), space, rng
-            )
+            if shard is None:
+                config = strategy.propose_async(
+                    history, self._pending_configs(), space, rng
+                )
+            else:
+                config = strategy.propose_async(
+                    history,
+                    self._pending_configs(),
+                    space,
+                    rng,
+                    shard=shard.descriptor,
+                )
             if config is None:
                 # The strategy declines to launch until in-flight results
                 # land (e.g. a rung boundary); the worker stays free.
                 break
-            self._free_at.remove(free_s)
+            del self._slots[slot_index]
             events.trial_start(self._launched, config)
-            measurement = strategy.measure(env, config)
+            if shard is None:
+                measurement = strategy.measure(env, config)
+            else:
+                self.pool.acquire(shard.name)
+                try:
+                    measurement = shard.measure(strategy, config)
+                except BaseException:
+                    # A raising probe must not strand the slot: put it back
+                    # and free the shard so a caller that catches the error
+                    # sees consistent pool occupancy.
+                    self.pool.release(shard.name)
+                    self._slots.append((free_s, shard))
+                    raise
             heappush(
                 self._in_flight,
                 (
@@ -492,13 +708,18 @@ class AsyncExecutor(Executor):
                     config,
                     measurement,
                     start_s,
+                    shard,
                 ),
             )
             self._launched += 1
         if not self._in_flight:
             return []
-        completion_s, launch_ordinal, config, measurement, _ = heappop(self._in_flight)
-        self._free_at.append(completion_s)
+        completion_s, launch_ordinal, config, measurement, _, shard = heappop(
+            self._in_flight
+        )
+        self._slots.append((completion_s, shard))
+        if shard is not None:
+            self.pool.release(shard.name)
         # Events drain in completion order, so the session clock only ever
         # advances; each trial's stamp is its physical completion time.
         trial = history.record(
@@ -507,6 +728,7 @@ class AsyncExecutor(Executor):
             wall_clock_s=max(0.0, completion_s - history.total_wall_clock_s),
             completed_at_wall_s=completion_s,
             launch_index=launch_ordinal,
+            shard=None if shard is None else shard.name,
         )
         strategy.observe(trial)
         events.trial_end(trial)
@@ -516,8 +738,12 @@ class AsyncExecutor(Executor):
 EXECUTOR_MODES = ("sync", "async")
 
 
-def executor_for(workers: int, mode: str = "sync") -> Executor:
-    """The executor for a worker count and execution mode.
+def executor_for(
+    workers: int,
+    mode: str = "sync",
+    pool: Optional[EnvironmentPool] = None,
+) -> Executor:
+    """The executor for a worker count, execution mode, and optional pool.
 
     ``workers=1`` deliberately maps to :class:`SerialExecutor` in *both*
     modes: with one worker there is no barrier to remove, and the serial
@@ -526,11 +752,25 @@ def executor_for(workers: int, mode: str = "sync") -> Executor:
     ``propose_batch`` / ``propose_async``.  With K > 1, ``"sync"`` builds
     the round-barrier :class:`ParallelExecutor` and ``"async"`` the
     barrier-free :class:`AsyncExecutor`.
+
+    With ``pool=``, concurrency comes from the pool's slots rather than
+    ``workers``: ``workers=1`` (or a one-slot pool) probes the fleet
+    serially through the pool's scheduler, any other value fans out over
+    the pool's total capacity in the chosen mode.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     if mode not in EXECUTOR_MODES:
-        raise ValueError(f"mode must be one of {EXECUTOR_MODES}, got {mode!r}")
+        raise ValueError(
+            f"unknown executor mode {mode!r}: valid modes are "
+            + ", ".join(repr(m) for m in EXECUTOR_MODES)
+        )
+    if pool is not None:
+        if workers == 1 or pool.total_capacity == 1:
+            return SerialExecutor(pool=pool)
+        if mode == "async":
+            return AsyncExecutor(pool=pool)
+        return ParallelExecutor(pool=pool)
     if workers == 1:
         return SerialExecutor()
     return AsyncExecutor(workers) if mode == "async" else ParallelExecutor(workers)
@@ -558,18 +798,31 @@ class TuningSession:
 
     def run(
         self,
-        env: TrainingEnvironment,
+        env: Optional[TrainingEnvironment],
         space: ConfigSpace,
         budget: TuningBudget,
         seed: int = 0,
     ) -> TuningResult:
-        """Execute the tuning session and return its result."""
+        """Execute the tuning session and return its result.
+
+        ``env`` may be ``None`` when the executor carries an
+        :class:`~repro.core.fleet.EnvironmentPool` — probes then dispatch
+        through the pool's shards and the pool's own description stands in
+        for the environment in callbacks and the result.  When both are
+        given the pool wins for dispatch.
+        """
+        pool = self.executor.pool
+        if env is None and pool is None:
+            raise ValueError(
+                "env may only be None when the executor probes an EnvironmentPool"
+            )
+        env_like = env if pool is None else pool
         rng = np.random.default_rng(seed)
         history = TrialHistory()
         events = _Events(self.callbacks)
         self.strategy.reset()
-        self.executor.reset()
-        events.session_start(self.strategy, env, space, budget)
+        self.executor.reset(seed)
+        events.session_start(self.strategy, env_like, space, budget)
         while not budget.exhausted(history):
             # A finished strategy launches nothing new, but probes already
             # in flight drain to completion — their machine time is spent
@@ -593,7 +846,7 @@ class TuningSession:
             strategy=self.strategy.name,
             history=history,
             best_trial=history.best(),
-            environment=env.describe(),
+            environment=env_like.describe(),
         )
         events.session_end(result)
         return result

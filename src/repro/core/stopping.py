@@ -183,8 +183,9 @@ class StoppedStrategy(SearchStrategy):
         pending: Sequence[ConfigDict],
         space: ConfigSpace,
         rng: np.random.Generator,
+        shard=None,
     ) -> Optional[ConfigDict]:
-        return self.inner.propose_async(history, pending, space, rng)
+        return self.inner.propose_async(history, pending, space, rng, shard=shard)
 
     def observe(self, trial) -> None:
         self.inner.observe(trial)

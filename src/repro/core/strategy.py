@@ -152,6 +152,7 @@ class SearchStrategy(ABC):
         pending: Sequence[ConfigDict],
         space: ConfigSpace,
         rng: np.random.Generator,
+        shard=None,
     ) -> Optional[ConfigDict]:
         """Hook: one configuration for a worker that just freed up.
 
@@ -161,6 +162,16 @@ class SearchStrategy(ABC):
         (:func:`repro.core.parallel.propose_async`), which keeps an
         asynchronous session from re-proposing a point already running.
 
+        ``shard`` is the :class:`~repro.core.fleet.ShardDescriptor` of the
+        environment shard the launch will run on when the session fans
+        across an :class:`~repro.core.fleet.EnvironmentPool` (``None``
+        otherwise).  Cost-aware strategies use it to lie about in-flight
+        probe cost at the *target shard's* probe speed and to condition
+        their cost surrogate on the shard — a probe that takes 60s on the
+        baseline replica takes 90s on a 1.5x shard, and a fantasy that
+        ignores that skews the cost model's view of committed machine
+        time.
+
         Returning ``None`` declines to launch for now: the executor leaves
         the worker idle until the next in-flight probe completes and asks
         again.  Strategies whose structure gates on complete cohorts use
@@ -168,10 +179,10 @@ class SearchStrategy(ABC):
         rung-mates are still in flight, since promotion must see the whole
         rung.
 
-        The default ignores ``pending`` and delegates to :meth:`propose`,
-        which is correct for stateless samplers and for pure cursor
-        strategies like grid: the cursor already moved past the pending
-        points, so a plain ``propose`` never duplicates them.
+        The default ignores ``pending`` and ``shard`` and delegates to
+        :meth:`propose`, which is correct for stateless samplers and for
+        pure cursor strategies like grid: the cursor already moved past
+        the pending points, so a plain ``propose`` never duplicates them.
         """
         return self.propose(history, space, rng)
 
@@ -192,7 +203,7 @@ class SearchStrategy(ABC):
 
     def run(
         self,
-        env: TrainingEnvironment,
+        env: Optional[TrainingEnvironment],
         space: ConfigSpace,
         budget: TuningBudget,
         seed: int = 0,
@@ -202,7 +213,9 @@ class SearchStrategy(ABC):
         """Execute a tuning session (thin shim over ``TuningSession``).
 
         With the default ``executor`` (serial) the produced history is
-        trial-for-trial identical to the pre-session seed loop.
+        trial-for-trial identical to the pre-session seed loop.  ``env``
+        may be ``None`` when ``executor`` carries an
+        :class:`~repro.core.fleet.EnvironmentPool`.
         """
         from repro.core.session import TuningSession
 

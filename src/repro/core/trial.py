@@ -18,7 +18,7 @@ probe, K-way-parallel probing accrues only the slowest probe of each round.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.configspace import ConfigDict
 from repro.mlsim import Measurement
@@ -40,6 +40,10 @@ class Trial:
     executors it equals ``index``; under asynchronous execution trials
     are recorded in completion order, so it is the key that correlates a
     trial with its start event.
+
+    ``shard`` names the environment shard the probe ran on when the
+    session fanned across an :class:`~repro.core.fleet.EnvironmentPool`;
+    ``None`` for single-environment sessions.
     """
 
     index: int
@@ -49,6 +53,7 @@ class Trial:
     round_index: int = 0
     cumulative_wall_clock_s: float = 0.0
     launch_index: int = 0
+    shard: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -69,6 +74,7 @@ class TrialHistory:
         self.total_cost_s = 0.0
         self.total_wall_clock_s = 0.0
         self.cancelled_cost_s = 0.0
+        self._cost_by_shard: Dict[Optional[str], float] = {}
 
     def record(
         self,
@@ -79,6 +85,7 @@ class TrialHistory:
         round_index: Optional[int] = None,
         completed_at_wall_s: Optional[float] = None,
         launch_index: Optional[int] = None,
+        shard: Optional[str] = None,
     ) -> Trial:
         """Append a trial, accumulating its probe cost and wall-clock.
 
@@ -92,6 +99,9 @@ class TrialHistory:
         in trial index.  ``round_index`` defaults to a fresh round per
         trial.  ``launch_index`` defaults to the recording index (launch
         and completion order coincide outside async execution).
+        ``shard`` itemises the probe's machine cost under that shard in
+        :meth:`cost_by_shard` (single-environment probes accrue under the
+        ``None`` key).
         """
         if wall_clock_s is None:
             wall_clock_s = measurement.probe_cost_s
@@ -99,6 +109,9 @@ class TrialHistory:
             round_index = self.num_rounds
         self.total_cost_s += measurement.probe_cost_s
         self.total_wall_clock_s += wall_clock_s
+        self._cost_by_shard[shard] = (
+            self._cost_by_shard.get(shard, 0.0) + measurement.probe_cost_s
+        )
         trial = Trial(
             index=len(self._trials),
             config=dict(config),
@@ -113,11 +126,12 @@ class TrialHistory:
             launch_index=(
                 launch_index if launch_index is not None else len(self._trials)
             ),
+            shard=shard,
         )
         self._trials.append(trial)
         return trial
 
-    def charge_cancelled(self, cost_s: float) -> None:
+    def charge_cancelled(self, cost_s: float, shard: Optional[str] = None) -> None:
         """Bill machine time burned by a probe cancelled before completion.
 
         A probe cut short at a budget boundary produced no trial, but the
@@ -125,12 +139,15 @@ class TrialHistory:
         cluster bill does not refund them.  The charge raises
         ``total_cost_s`` (and is itemised in ``cancelled_cost_s``) without
         appending a trial, so trial counts and per-trial series are
-        untouched.
+        untouched.  ``shard`` attributes the charge in
+        :meth:`cost_by_shard` so the per-shard itemisation keeps summing
+        to ``total_cost_s`` even across cancellations.
         """
         if cost_s < 0:
             raise ValueError("cost_s must be non-negative")
         self.cancelled_cost_s += cost_s
         self.total_cost_s += cost_s
+        self._cost_by_shard[shard] = self._cost_by_shard.get(shard, 0.0) + cost_s
 
     def clone(self) -> "TrialHistory":
         """A metadata-preserving copy sharing the (frozen) trial records.
@@ -146,7 +163,31 @@ class TrialHistory:
         copy.total_cost_s = self.total_cost_s
         copy.total_wall_clock_s = self.total_wall_clock_s
         copy.cancelled_cost_s = self.cancelled_cost_s
+        copy._cost_by_shard = dict(self._cost_by_shard)
         return copy
+
+    def cost_by_shard(self) -> Dict[Optional[str], float]:
+        """Machine cost itemised per environment shard.
+
+        Keys are shard names (``None`` collects probes that ran outside a
+        pool); values include cancellation charges attributed to the
+        shard, so the values always sum to ``total_cost_s``.
+        """
+        return dict(self._cost_by_shard)
+
+    def wall_clock_by_shard(self) -> Dict[Optional[str], float]:
+        """Latest completion stamp per shard — each shard's own timeline.
+
+        Derived from the trials' physical completion times; a shard that
+        finished its last probe early shows a shorter timeline than the
+        session's total wall-clock (the makespan across all shards).
+        """
+        timelines: Dict[Optional[str], float] = {}
+        for trial in self._trials:
+            stamp = trial.cumulative_wall_clock_s
+            if stamp > timelines.get(trial.shard, 0.0):
+                timelines[trial.shard] = stamp
+        return timelines
 
     @property
     def num_rounds(self) -> int:

@@ -67,6 +67,11 @@ class MLConfigTuner(SearchStrategy):
         Fantasy value used when a parallel executor requests a batch:
         ``"incumbent"`` (constant liar, strongly diversifying) or
         ``"mean"`` (milder).  See :mod:`repro.core.parallel`.
+    shard_cost_feature:
+        On a heterogeneous :class:`~repro.core.fleet.EnvironmentPool`,
+        condition the cost surrogate on the shard each probe ran on and
+        predict probe cost at the target shard (see
+        :class:`~repro.core.bo.BayesianProposer`).  Off by default.
     n_candidates / kernel / xi / beta / seed:
         Forwarded to :class:`~repro.core.bo.BayesianProposer`.
     """
@@ -79,6 +84,7 @@ class MLConfigTuner(SearchStrategy):
         short_probe_fraction: float = 0.25,
         rejection_margin: float = 0.25,
         batch_lie: str = "incumbent",
+        shard_cost_feature: bool = False,
         n_candidates: int = 512,
         kernel: str = "matern52",
         xi: float = 0.01,
@@ -98,6 +104,7 @@ class MLConfigTuner(SearchStrategy):
         self.short_probe_fraction = short_probe_fraction
         self.rejection_margin = rejection_margin
         self.batch_lie = batch_lie
+        self.shard_cost_feature = shard_cost_feature
         self.n_candidates = n_candidates
         self.kernel = kernel
         self.xi = xi
@@ -106,6 +113,7 @@ class MLConfigTuner(SearchStrategy):
         self.name = name or f"mlconfig-bo[{acquisition}]"
         self._proposer: Optional[BayesianProposer] = None
         self._incumbent: Optional[float] = None
+        self._shard_weights: dict = {}
         self.probes_terminated_early = 0
 
     # -- SearchStrategy hooks ------------------------------------------------
@@ -120,6 +128,7 @@ class MLConfigTuner(SearchStrategy):
         """
         self._proposer = None
         self._incumbent = None
+        self._shard_weights = {}
         self.probes_terminated_early = 0
 
     def _ensure_proposer(self, space: ConfigSpace) -> BayesianProposer:
@@ -132,6 +141,7 @@ class MLConfigTuner(SearchStrategy):
                 kernel=self.kernel,
                 xi=self.xi,
                 beta=self.beta,
+                shard_cost_feature=self.shard_cost_feature,
                 seed=self.seed,
             )
         return self._proposer
@@ -162,10 +172,32 @@ class MLConfigTuner(SearchStrategy):
         pending,
         space: ConfigSpace,
         rng: np.random.Generator,
+        shard=None,
     ) -> ConfigDict:
-        """One point for a freed worker, constant-lying over in-flight probes."""
+        """One point for a freed worker, constant-lying over in-flight probes.
+
+        When the launch targets a fleet shard, the constant-liar fantasies
+        lie with the probe cost scaled to that shard's speed, and the
+        shard's cost multiplier is registered with the proposer so the
+        (optional) shard-conditioned cost surrogate both encodes past
+        probes' shards and predicts at the target shard.
+        """
+        proposer = self._ensure_proposer(space)
+        cost_scale = 1.0
+        shard_weight = None
+        if shard is not None:
+            self._shard_weights[shard.name] = shard.cost_multiplier
+            proposer.set_shard_weights(self._shard_weights)
+            cost_scale = shard.cost_multiplier
+            shard_weight = shard.cost_multiplier
         return constant_liar_async(
-            self._ensure_proposer(space), history, pending, rng, lie=self.batch_lie
+            proposer,
+            history,
+            pending,
+            rng,
+            lie=self.batch_lie,
+            cost_scale=cost_scale,
+            shard_weight=shard_weight,
         )
 
     def observe(self, trial) -> None:

@@ -93,6 +93,7 @@ def compare_strategies(
     seed: int = 0,
     workers: int = 1,
     executor_mode: str = "sync",
+    pool=None,
 ) -> Comparison:
     """Run every strategy ``repeats`` times and aggregate.
 
@@ -107,13 +108,25 @@ def compare_strategies(
     :class:`~repro.core.session.ParallelExecutor`, with ``"async"``
     through a barrier-free :class:`~repro.core.session.AsyncExecutor` —
     the outcomes carry the corresponding wall-clock accounting.
+
+    ``pool`` fans every session across an
+    :class:`~repro.core.fleet.EnvironmentPool` instead of a fresh
+    single environment per repeat; the sessions run over the pool's full
+    slot capacity (a fleet with the default ``workers=1`` would otherwise
+    silently degrade to serial probing and report no fleet speedup), and
+    the pool is rewound at each session start (occupancy, scheduler,
+    per-shard RNG streams, environment probe counters), which keeps
+    repeats comparable.  ``workload`` and ``cluster`` still define the
+    reference environment the noise-free optimum is estimated on.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
     if workers < 1:
         raise ValueError("workers must be >= 1")
     space = space or ml_config_space(cluster.total_nodes)
-    executor = executor_for(workers, mode=executor_mode)
+    if pool is not None:
+        workers = max(workers, pool.total_capacity)
+    executor = executor_for(workers, mode=executor_mode, pool=pool)
 
     reference_env = TrainingEnvironment(
         workload, cluster, seed=env_seed, fidelity="analytic", objective_name=objective
@@ -132,12 +145,16 @@ def compare_strategies(
         results: List[TuningResult] = []
         for repeat in range(repeats):
             strategy = factory(seed + repeat)
-            env = TrainingEnvironment(
-                workload,
-                cluster,
-                seed=env_seed,
-                fidelity=fidelity,
-                objective_name=objective,
+            env = (
+                None
+                if pool is not None
+                else TrainingEnvironment(
+                    workload,
+                    cluster,
+                    seed=env_seed,
+                    fidelity=fidelity,
+                    objective_name=objective,
+                )
             )
             results.append(
                 strategy.run(env, space, budget, seed=seed + repeat, executor=executor)

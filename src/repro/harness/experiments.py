@@ -800,6 +800,192 @@ def exp_p2_async_speedup(
 
 
 # ---------------------------------------------------------------------------
+# P4: heterogeneous-fleet sharding (EnvironmentPool layer)
+# ---------------------------------------------------------------------------
+
+def build_fleet_pool(
+    workload,
+    nodes: int,
+    seed: int,
+    shard_multipliers: Sequence[float],
+    scheduler_name: str = "roundrobin",
+    capacities: Optional[Sequence[int]] = None,
+):
+    """A heterogeneous probing fleet over one target cluster.
+
+    Every shard is a replica of the same ``nodes``-node cluster — the
+    objective surface is shared — but shard ``i`` runs probes at
+    ``shard_multipliers[i]`` times the baseline duration (older hardware,
+    contended tenancy) and gets its own measurement-noise stream
+    (environment seed ``seed + i``).  Shard 0 at multiplier 1.0 with seed
+    ``seed`` is exactly the single-cluster baseline environment.
+    """
+    from repro.core.fleet import EnvironmentPool, EnvironmentShard, make_scheduler
+
+    cluster = homogeneous(nodes)
+    capacities = capacities or [1] * len(shard_multipliers)
+    shards = [
+        EnvironmentShard(
+            f"shard{i}",
+            TrainingEnvironment(workload, cluster, seed=seed + i),
+            capacity=capacity,
+            cost_multiplier=multiplier,
+        )
+        for i, (multiplier, capacity) in enumerate(
+            zip(shard_multipliers, capacities)
+        )
+    ]
+    return EnvironmentPool(shards, scheduler=make_scheduler(scheduler_name))
+
+
+def _fleet_sweep(
+    nodes: int,
+    budget_trials: int,
+    seed: int,
+    workload_name: str,
+    shard_multipliers: Sequence[float],
+    schedulers: Sequence[str],
+) -> Dict[str, Any]:
+    """BO-tuner results for the single-shard baseline and each scheduler."""
+
+    def compute() -> Dict[str, Any]:
+        from repro.core.session import executor_for
+
+        workload = get_workload(workload_name)
+        cluster = homogeneous(nodes)
+        space = ml_config_space(nodes)
+        budget = TuningBudget(max_trials=budget_trials)
+
+        results: Dict[str, Any] = {
+            "single": MLConfigTuner(seed=seed).run(
+                TrainingEnvironment(workload, cluster, seed=seed),
+                space,
+                budget,
+                seed=seed,
+            )
+        }
+        for scheduler_name in schedulers:
+            pool = build_fleet_pool(
+                workload, nodes, seed, shard_multipliers, scheduler_name
+            )
+            results[scheduler_name] = MLConfigTuner(seed=seed).run(
+                None,
+                space,
+                budget,
+                seed=seed,
+                executor=executor_for(len(shard_multipliers), "async", pool=pool),
+            )
+        return results
+
+    return _memoised(
+        (
+            "fleet-sweep",
+            nodes,
+            budget_trials,
+            seed,
+            workload_name,
+            tuple(shard_multipliers),
+            tuple(schedulers),
+        ),
+        compute,
+    )
+
+
+def exp_p4_fleet(
+    nodes: int = 64,
+    budget_trials: int = 40,
+    seed: int = 0,
+    workload_name: str = "resnet50-imagenet",
+    shard_multipliers: Sequence[float] = (1.0, 1.25, 0.8, 1.5),
+    schedulers: Sequence[str] = ("roundrobin", "least-loaded", "cheapest"),
+) -> ExperimentTable:
+    """One session fanned across a heterogeneous 4-shard fleet.
+
+    The single-shard baseline probes the target cluster serially; each
+    fleet row runs the same trial budget asynchronously across four
+    replicas with heterogeneous probe speeds under one
+    :class:`~repro.core.fleet.ShardScheduler`.  ``h→matched`` is the
+    wall-clock hours until a run first reaches the *matched* quality —
+    the worse of its own and the baseline's final incumbents — the
+    time-to-equal-quality axis that keeps a fast-but-worse run from
+    looking strictly better; its speedup column is the fleet claim the
+    benchmark gate (``benchmarks/bench_p4_fleet.py``) pins.  The default
+    is a 64-node target: a search space large enough that the serial
+    baseline is still improving at the budget, which is exactly the
+    regime where fanning the session out pays.
+    """
+
+    def compute() -> List[List[Any]]:
+        results = _fleet_sweep(
+            nodes, budget_trials, seed, workload_name, shard_multipliers, schedulers
+        )
+        single = results["single"]
+        single_wall = single.total_wall_clock_s
+        rows = []
+        for name, result in results.items():
+            _, single_reach, reach = metrics.matched_quality_reach(single, result)
+            cost_by_shard = {
+                shard: cost
+                for shard, cost in result.history.cost_by_shard().items()
+                if shard is not None
+            }
+            busiest = (
+                max(cost_by_shard, key=cost_by_shard.get) if cost_by_shard else "-"
+            )
+            rows.append(
+                [
+                    name,
+                    1 if name == "single" else len(shard_multipliers),
+                    result.best_objective,
+                    result.total_cost_s / 3600.0,
+                    result.total_wall_clock_s / 3600.0,
+                    single_wall / result.total_wall_clock_s,
+                    reach / 3600.0 if reach is not None else None,
+                    (
+                        single_reach / reach
+                        if reach is not None and single_reach is not None
+                        else None
+                    ),
+                    busiest,
+                ]
+            )
+        return rows
+
+    rows = _memoised(
+        (
+            "p4",
+            nodes,
+            budget_trials,
+            seed,
+            workload_name,
+            tuple(shard_multipliers),
+            tuple(schedulers),
+        ),
+        compute,
+    )
+    return ExperimentTable(
+        exp_id="P4",
+        title=f"Heterogeneous-fleet sharding — {workload_name}, "
+        f"{budget_trials} trials, shard speeds {list(shard_multipliers)}",
+        headers=[
+            "execution",
+            "shards",
+            "best (smp/s)",
+            "machine hours",
+            "wall-clock hours",
+            "wall speedup",
+            "h→matched",
+            "matched speedup",
+            "busiest shard",
+        ],
+        rows=rows,
+        notes="each shard is a replica of the target cluster probing at its "
+        "own speed; per-shard machine cost is itemised on the history "
+        "(TrialHistory.cost_by_shard) and sums to the session total",
+    )
+
+
+# ---------------------------------------------------------------------------
 # A1: acquisition-function ablation
 # ---------------------------------------------------------------------------
 
@@ -1176,6 +1362,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., Any]] = {
     "F6": exp_f6_sync_crossover,
     "P1": exp_p1_parallel_speedup,
     "P2": exp_p2_async_speedup,
+    "P4": exp_p4_fleet,
     "A1": exp_a1_acquisition,
     "A2": exp_a2_early_termination,
     "A3": exp_a3_warmstart,

@@ -96,3 +96,24 @@ def speedup(best_objective: float, reference_objective: float) -> float:
     if reference_objective > 0:
         return best_objective / reference_objective
     return reference_objective / best_objective
+
+
+def matched_quality_reach(
+    baseline: TuningResult, result: TuningResult
+) -> tuple:
+    """Wall-clock to the *matched* quality bar for a baseline/contender pair.
+
+    The bar is the worse of the two runs' final incumbents — the
+    time-to-equal-quality axis that keeps a fast-but-worse run from
+    looking strictly better.  Returns ``(matched, baseline_reach_s,
+    reach_s)``; either reach is ``None`` when that run never attains the
+    bar (only possible with all-failed histories).  This is the single
+    definition behind the P4 fleet experiment, the ``bench_p4_fleet``
+    CI gate, and ``examples/fleet_tuning.py``.
+    """
+    matched = min(baseline.best_objective or 0.0, result.best_objective or 0.0)
+    return (
+        matched,
+        baseline.history.wall_clock_to_reach(matched),
+        result.history.wall_clock_to_reach(matched),
+    )

@@ -130,6 +130,18 @@ class TrainingEnvironment:
 
     # -- probe API ---------------------------------------------------------
 
+    def reset_counters(self) -> None:
+        """Rewind the probe counters to a fresh-environment state.
+
+        Measurement noise is keyed by ``trials_run``, so rewinding it
+        makes a reused environment replay the exact per-trial-index noise
+        stream of a newly constructed one — what
+        :meth:`repro.core.fleet.EnvironmentPool.reset` relies on to keep
+        repeated sessions over one pool comparable.
+        """
+        self.trials_run = 0
+        self.total_probe_cost_s = 0.0
+
     def measure(
         self,
         config: TrainingConfig,

@@ -44,7 +44,7 @@ class TestLightExperiments:
         expected = {
             "T1", "T2", "T3",
             "F1", "F2", "F3", "F4", "F5", "F6",
-            "P1", "P2",
+            "P1", "P2", "P4",
             "A1", "A2", "A3",
             "E1", "E2", "V1",
         }

@@ -181,15 +181,23 @@ class TestParallelExecutor:
         assert result.num_trials == 4
         assert result.total_cost_s == pytest.approx(40.0)
 
-    def test_cost_budget_cancels_rest_of_round(self):
+    def test_cost_budget_cancels_rest_of_round_and_bills_elapsed(self):
         strategy = CostedStrategy([10.0])
         result = TuningSession(strategy, executor=ParallelExecutor(4)).run(
             StubEnv(), stub_space(), TuningBudget(max_trials=None, max_cost_s=15.0), seed=0
         )
-        # The cap hits after the second member; the other two are cancelled,
-        # so overshoot stays within one probe (as in serial execution).
+        # The cap hits after the second member records; the other two are
+        # cancelled, so recorded overshoot stays within one probe (as in
+        # serial execution) — but their slots were occupied from the round
+        # start until the cancellation instant (the tripping member's
+        # 10s completion), and that elapsed wall-clock is billed as
+        # cancelled machine cost: 20 recorded + 2 x 10 cancelled.
         assert result.num_trials == 2
-        assert result.total_cost_s == pytest.approx(20.0)
+        assert result.history.cancelled_cost_s == pytest.approx(20.0)
+        assert result.total_cost_s == pytest.approx(40.0)
+        assert sum(result.history.cost_by_shard().values()) == pytest.approx(
+            result.total_cost_s
+        )
 
     def test_wall_cap_does_not_cancel_round_members_by_recording_order(self):
         # All four members launched at the round start; the slow one
