@@ -49,7 +49,15 @@ def _lookup(results, metric):
     return float(node)
 
 
-PREFERRED_SECTION_ORDER = ("propose", "batch", "hyperfit", "fleet")
+PREFERRED_SECTION_ORDER = (
+    "propose",
+    "throughput",
+    "batch",
+    "hyperfit",
+    "harness",
+    "cache",
+    "fleet",
+)
 _META_KEYS = {"schema", "quick", "config"}
 
 

@@ -32,14 +32,18 @@ class CherryPick(SearchStrategy):
         ei_stop_fraction: float = 0.02,
         min_trials: int = 12,
         n_candidates: int = 512,
+        fit_workers: int = 1,
         seed: int = 0,
     ) -> None:
         if not 0.0 <= ei_stop_fraction < 1.0:
             raise ValueError("ei_stop_fraction must be in [0, 1)")
+        if fit_workers < 1:
+            raise ValueError("fit_workers must be >= 1")
         self.n_initial = n_initial
         self.ei_stop_fraction = ei_stop_fraction
         self.min_trials = min_trials
         self.n_candidates = n_candidates
+        self.fit_workers = fit_workers
         self.seed = seed
         self._proposer: Optional[BayesianProposer] = None
         self._stopped = False
@@ -55,6 +59,7 @@ class CherryPick(SearchStrategy):
                 acquisition="ei",
                 n_initial=self.n_initial,
                 n_candidates=self.n_candidates,
+                fit_workers=self.fit_workers,
                 seed=self.seed,
             )
         return self._proposer

@@ -78,6 +78,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="configurations probed concurrently (1 = serial probing)",
     )
     tune.add_argument(
+        "--fit-workers", type=int, default=1, metavar="K",
+        help="processes fanning each GP hyperparameter refit's multi-start "
+        "restarts (bit-identical results to serial; BO-family strategies "
+        "only)",
+    )
+    tune.add_argument(
         "--executor", default="sync", choices=list(EXECUTOR_MODES),
         help="multi-worker execution: 'sync' round barriers or 'async' "
         "barrier-free (each worker pulls a new proposal when it frees up)",
@@ -176,6 +182,9 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    if args.fit_workers < 1:
+        print("--fit-workers must be >= 1", file=sys.stderr)
+        return 2
     if args.trials < 1:
         print("--trials must be >= 1", file=sys.stderr)
         return 2
@@ -198,6 +207,17 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         return 2
     space = ml_config_space(args.nodes)
     strategy = STRATEGIES[args.strategy](args.seed)
+    if args.fit_workers > 1:
+        if hasattr(strategy, "fit_workers"):
+            # Read lazily at first proposal, so setting the attribute after
+            # construction reaches the proposer's GP factories.
+            strategy.fit_workers = args.fit_workers
+        else:
+            print(
+                f"note: --fit-workers only applies to GP-based strategies; "
+                f"{args.strategy!r} has no hyperparameter fits to fan out",
+                file=sys.stderr,
+            )
     if pool is not None:
         # A fleet always fans out over the pool's slots; the session probes
         # the shards concurrently in the chosen executor mode.  Note the

@@ -14,6 +14,8 @@ from repro.configspace.params import (
     Parameter,
 )
 from repro.configspace.space import (
+    BatchConstraint,
+    ColumnBatch,
     ConfigDict,
     ConfigSpace,
     Constraint,
@@ -21,8 +23,10 @@ from repro.configspace.space import (
 )
 
 __all__ = [
+    "BatchConstraint",
     "BoolParameter",
     "CategoricalParameter",
+    "ColumnBatch",
     "ConfigDict",
     "ConfigSpace",
     "Constraint",

@@ -10,12 +10,14 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.configspace.params import (
     BoolParameter,
     CategoricalParameter,
     IntParameter,
 )
-from repro.configspace.space import ConfigDict, ConfigSpace
+from repro.configspace.space import ColumnBatch, ConfigDict, ConfigSpace
 from repro.mlsim.config import TrainingConfig
 
 
@@ -31,12 +33,31 @@ def _fits_cluster(total_nodes: int):
     return check
 
 
+def _fits_cluster_batch(total_nodes: int):
+    """Vectorised twin of :func:`_fits_cluster` over a columns batch."""
+
+    def check(columns: ColumnBatch) -> np.ndarray:
+        workers = columns["num_workers"]
+        num_ps = columns["num_ps"]
+        allreduce = columns["architecture"] == "allreduce"
+        colocated = np.asarray(columns["colocate_ps"], dtype=bool)
+        ps_nodes = np.where(colocated, np.maximum(num_ps, workers), num_ps + workers)
+        return np.where(allreduce, workers <= total_nodes, ps_nodes <= total_nodes)
+
+    return check
+
+
 def _staleness_meaningful(config: ConfigDict) -> bool:
     # SSP with bound 0 is just BSP; exclude the redundant encoding so the
     # space does not contain duplicate behaviours under different names.
     if config["sync_mode"] == "ssp":
         return config["staleness_bound"] >= 1
     return True
+
+
+def _staleness_meaningful_batch(columns: ColumnBatch) -> np.ndarray:
+    """Vectorised twin of :func:`_staleness_meaningful`."""
+    return (columns["sync_mode"] != "ssp") | (columns["staleness_bound"] >= 1)
 
 
 def ml_config_space(
@@ -81,9 +102,16 @@ def ml_config_space(
         "fits_cluster": _fits_cluster(total_nodes),
         "staleness_meaningful": _staleness_meaningful,
     }
+    batch_constraints = {
+        "fits_cluster": _fits_cluster_batch(total_nodes),
+        "staleness_meaningful": _staleness_meaningful_batch,
+    }
     if not include_allreduce:
         constraints["ps_only"] = lambda config: config["architecture"] == "ps"
-    return ConfigSpace(parameters, constraints)
+        batch_constraints["ps_only"] = (
+            lambda columns: np.asarray(columns["architecture"] == "ps", dtype=bool)
+        )
+    return ConfigSpace(parameters, constraints, batch_constraints=batch_constraints)
 
 
 def to_training_config(config: ConfigDict) -> TrainingConfig:

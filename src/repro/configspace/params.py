@@ -48,9 +48,33 @@ class Parameter:
             len(values), self.dims
         )
 
+    def encode_column(self, values: np.ndarray) -> np.ndarray:
+        """Encode a column of *trusted* values with pure array operations.
+
+        Used by the batched sampling pipeline, whose values just came out
+        of :meth:`decode_batch` and are in range by construction — so no
+        per-value validation or Python-loop conversion runs.  Agrees with
+        :meth:`encode_batch` to floating-point rounding (log-scaled knobs
+        may differ in the last ulp because the log runs vectorised).
+        """
+        return self.encode_batch(values)
+
     def decode(self, coords: Sequence[float]) -> Any:
         """Unit-cube coordinates → nearest valid typed value."""
         raise NotImplementedError
+
+    def decode_batch(self, coords: np.ndarray) -> np.ndarray:
+        """A ``(count, dims)`` coordinate block → a length-``count`` column.
+
+        The vectorised counterpart of :meth:`decode`, used by the batched
+        sampling pipeline on the BO hot path.  Returns a numpy column whose
+        entries equal the per-row scalar :meth:`decode` results (numeric
+        parameters come back as numeric dtypes; categoricals as an object
+        column).  Subclasses override the generic row loop with vectorised
+        versions.
+        """
+        coords = np.atleast_2d(np.asarray(coords, dtype=float))
+        return np.array([self.decode(row) for row in coords], dtype=object)
 
     def sample(self, rng: np.random.Generator) -> Any:
         """A uniform random valid value."""
@@ -102,6 +126,26 @@ def _encode_numeric_batch(param, values) -> np.ndarray:
     return coords.reshape(-1, 1)
 
 
+def _encode_numeric_column(param, values: np.ndarray) -> np.ndarray:
+    """Trusted-value vectorised encode shared by int/float parameters.
+
+    The unvalidated twin of :func:`_encode_numeric_batch`: values are in
+    range by construction (they come from ``decode_batch``), so the whole
+    column encodes with pure array operations (vectorised ``np.log`` for
+    log scales — last-ulp differences from the scalar path are possible
+    there, nowhere else).
+    """
+    arr = np.asarray(values, dtype=float)
+    if param.low == param.high:
+        return np.zeros((arr.shape[0], 1))
+    if param.log:
+        log_low = math.log(param.low)
+        coords = (np.log(arr) - log_low) / (math.log(param.high) - log_low)
+    else:
+        coords = (arr - param.low) / (param.high - param.low)
+    return coords.reshape(-1, 1)
+
+
 class IntParameter(Parameter):
     """An integer knob on ``[low, high]``, optionally log-scaled."""
 
@@ -144,6 +188,22 @@ class IntParameter(Parameter):
         else:
             raw = self.low + x * (self.high - self.low)
         return int(min(self.high, max(self.low, round(raw))))
+
+    def decode_batch(self, coords: np.ndarray) -> np.ndarray:
+        coords = np.atleast_2d(np.asarray(coords, dtype=float))
+        x = np.clip(coords[:, 0], 0.0, 1.0)
+        if self.low == self.high:
+            return np.full(x.shape[0], self.low, dtype=np.int64)
+        if self.log:
+            log_low = math.log(self.low)
+            raw = np.exp(log_low + x * (math.log(self.high) - log_low))
+        else:
+            raw = self.low + x * (self.high - self.low)
+        # np.round is round-half-even, matching the scalar decode's round().
+        return np.clip(np.round(raw), self.low, self.high).astype(np.int64)
+
+    def encode_column(self, values: np.ndarray) -> np.ndarray:
+        return _encode_numeric_column(self, values)
 
     def neighbors(self, value: Any, rng: np.random.Generator) -> List[int]:
         value = int(value)
@@ -204,6 +264,17 @@ class FloatParameter(Parameter):
             return math.exp(math.log(self.low) + x * (math.log(self.high) - math.log(self.low)))
         return self.low + x * (self.high - self.low)
 
+    def decode_batch(self, coords: np.ndarray) -> np.ndarray:
+        coords = np.atleast_2d(np.asarray(coords, dtype=float))
+        x = np.clip(coords[:, 0], 0.0, 1.0)
+        if self.log:
+            log_low = math.log(self.low)
+            return np.exp(log_low + x * (math.log(self.high) - log_low))
+        return self.low + x * (self.high - self.low)
+
+    def encode_column(self, values: np.ndarray) -> np.ndarray:
+        return _encode_numeric_column(self, values)
+
     def neighbors(self, value: Any, rng: np.random.Generator) -> List[float]:
         span = self.high - self.low
         moves = []
@@ -262,6 +333,25 @@ class CategoricalParameter(Parameter):
             )
         return self.choices[int(np.argmax(coords))]
 
+    def decode_batch(self, coords: np.ndarray) -> np.ndarray:
+        coords = np.atleast_2d(np.asarray(coords, dtype=float))
+        if coords.shape[1] != len(self.choices):
+            raise ValueError(
+                f"{self.name}: expected {len(self.choices)} coords, got {coords.shape[1]}"
+            )
+        # Object column so choices keep their Python types (and "==" against
+        # a choice broadcasts elementwise in batch constraints).
+        table = np.empty(len(self.choices), dtype=object)
+        table[:] = self.choices
+        return table[np.argmax(coords, axis=1)]
+
+    def encode_column(self, values: np.ndarray) -> np.ndarray:
+        vals = np.asarray(values, dtype=object)
+        out = np.zeros((vals.shape[0], len(self.choices)))
+        for column, choice in enumerate(self.choices):
+            out[vals == choice, column] = 1.0
+        return out
+
     def neighbors(self, value: Any, rng: np.random.Generator) -> List[Any]:
         return [c for c in self.choices if c != value]
 
@@ -284,6 +374,13 @@ class BoolParameter(Parameter):
 
     def decode(self, coords: Sequence[float]) -> bool:
         return float(coords[0]) >= 0.5
+
+    def decode_batch(self, coords: np.ndarray) -> np.ndarray:
+        coords = np.atleast_2d(np.asarray(coords, dtype=float))
+        return coords[:, 0] >= 0.5
+
+    def encode_column(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray(values, dtype=float).reshape(-1, 1)
 
     def neighbors(self, value: Any, rng: np.random.Generator) -> List[bool]:
         return [not bool(value)]

@@ -24,27 +24,51 @@ from repro.configspace.params import Parameter
 ConfigDict = Dict[str, Any]
 Constraint = Callable[[ConfigDict], bool]
 
+#: Columns view of a batch of configurations: one numpy column per
+#: parameter (numeric dtypes for int/float/bool knobs, an object column
+#: for categoricals), all of equal length.
+ColumnBatch = Dict[str, np.ndarray]
+
+#: A vectorised constraint: maps a :data:`ColumnBatch` to a boolean mask
+#: (True = the row satisfies the constraint).  Registered per constraint
+#: name; any constraint without one falls back to its scalar predicate.
+BatchConstraint = Callable[[ColumnBatch], np.ndarray]
+
 
 class ExhaustedSpaceError(RuntimeError):
     """Raised when rejection sampling cannot find a valid configuration."""
 
 
 class ConfigSpace:
-    """An ordered collection of :class:`Parameter` with validity constraints."""
+    """An ordered collection of :class:`Parameter` with validity constraints.
+
+    ``constraints`` are scalar predicates over typed dicts — always the
+    source of truth for validity.  ``batch_constraints`` optionally maps a
+    constraint *name* to a vectorised twin operating on a
+    :data:`ColumnBatch`; the batched sampling/validity paths use the twin
+    when present and silently fall back to the scalar predicate (row by
+    row) when not, so correctness never depends on vectorisation.
+    """
 
     def __init__(
         self,
         parameters: Sequence[Parameter],
         constraints: Optional[Dict[str, Constraint]] = None,
         max_rejection_tries: int = 10_000,
+        batch_constraints: Optional[Dict[str, BatchConstraint]] = None,
     ) -> None:
         if not parameters:
             raise ValueError("config space needs at least one parameter")
-        names = [p.name for p in parameters]
-        if len(set(names)) != len(names):
-            raise ValueError(f"duplicate parameter names: {names}")
+        self._by_name: Dict[str, Parameter] = {}
+        for param in parameters:
+            if param.name in self._by_name:
+                raise ValueError(
+                    f"duplicate parameter names: {[p.name for p in parameters]}"
+                )
+            self._by_name[param.name] = param
         self.parameters = list(parameters)
         self.constraints = dict(constraints or {})
+        self.batch_constraints = dict(batch_constraints or {})
         self.max_rejection_tries = max_rejection_tries
         self._offsets: List[Tuple[int, int]] = []
         offset = 0
@@ -65,13 +89,13 @@ class ConfigSpace:
         return [p.name for p in self.parameters]
 
     def __getitem__(self, name: str) -> Parameter:
-        for param in self.parameters:
-            if param.name == name:
-                return param
-        raise KeyError(f"no parameter named {name!r}")
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no parameter named {name!r}") from None
 
     def __contains__(self, name: str) -> bool:
-        return any(p.name == name for p in self.parameters)
+        return name in self._by_name
 
     def __len__(self) -> int:
         return len(self.parameters)
@@ -85,6 +109,52 @@ class ConfigSpace:
     def violated_constraints(self, config: ConfigDict) -> List[str]:
         """Names of constraints ``config`` fails (for diagnostics)."""
         return [name for name, check in self.constraints.items() if not check(config)]
+
+    def config_at(self, columns: ColumnBatch, index: int) -> ConfigDict:
+        """Row ``index`` of a columns batch as a typed dict.
+
+        Numpy scalars are converted back to plain Python values so the
+        result is indistinguishable from a scalar :meth:`decode`/
+        :meth:`sample` output (JSON logs and the simulator expect native
+        types).
+        """
+        config: ConfigDict = {}
+        for param in self.parameters:
+            value = columns[param.name][index]
+            config[param.name] = value.item() if isinstance(value, np.generic) else value
+        return config
+
+    def valid_mask(self, columns: ColumnBatch) -> np.ndarray:
+        """Boolean validity mask over the rows of a columns batch.
+
+        Constraints with a registered vectorised twin are evaluated in one
+        shot; the rest fall back to their scalar predicate on the rows
+        still alive after the vectorised cuts.  Row ``i`` is True exactly
+        when :meth:`is_valid` accepts :meth:`config_at`'s row ``i``.
+        """
+        count = len(next(iter(columns.values()))) if columns else 0
+        mask = np.ones(count, dtype=bool)
+        scalar_only: List[str] = []
+        for name in self.constraints:
+            batch_check = self.batch_constraints.get(name)
+            if batch_check is None:
+                scalar_only.append(name)
+                continue
+            result = np.asarray(batch_check(columns), dtype=bool)
+            if result.shape != (count,):
+                raise ValueError(
+                    f"batch constraint {name!r} returned shape {result.shape}, "
+                    f"expected ({count},)"
+                )
+            mask &= result
+        if scalar_only and mask.any():
+            for index in np.nonzero(mask)[0]:
+                config = self.config_at(columns, int(index))
+                for name in scalar_only:
+                    if not self.constraints[name](config):
+                        mask[index] = False
+                        break
+        return mask
 
     # -- encoding ------------------------------------------------------------
 
@@ -133,6 +203,44 @@ class ConfigSpace:
             config[param.name] = param.decode(vector[start:end])
         return config
 
+    def decode_batch(self, matrix: np.ndarray) -> List[ConfigDict]:
+        """Many unit-cube vectors → typed dicts, decoded one *column* at a time.
+
+        Row ``i`` of the result equals ``decode(matrix[i])`` (nearest valid
+        value per knob; cross-parameter constraints are *not* enforced —
+        see :meth:`decode`), but the per-parameter decodes run vectorised
+        over the whole batch instead of per-config Python loops.
+        """
+        matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
+        if matrix.shape[1] != self._dims:
+            raise ValueError(
+                f"expected matrix of shape (count, {self._dims}), got {matrix.shape}"
+            )
+        columns = self._decode_columns(matrix)
+        return [self.config_at(columns, i) for i in range(matrix.shape[0])]
+
+    def _decode_columns(self, matrix: np.ndarray) -> ColumnBatch:
+        """Decode a ``(count, dims)`` matrix into per-parameter columns."""
+        return {
+            param.name: param.decode_batch(matrix[:, start:end])
+            for param, (start, end) in zip(self.parameters, self._offsets)
+        }
+
+    def _encode_columns(self, columns: ColumnBatch, count: int) -> np.ndarray:
+        """Encode per-parameter columns into a ``(count, dims)`` matrix.
+
+        Runs the trusted-value :meth:`Parameter.encode_column` fast path —
+        values here always come from :meth:`Parameter.decode_batch`, so
+        they are in range by construction.  Agrees with
+        :meth:`encode_batch` of the corresponding typed dicts to
+        floating-point rounding (log-scaled knobs may differ in the last
+        ulp).
+        """
+        out = np.empty((count, self._dims), dtype=float)
+        for param, (start, end) in zip(self.parameters, self._offsets):
+            out[:, start:end] = param.encode_column(columns[param.name])
+        return out
+
     def decode_valid(self, vector: np.ndarray, rng: np.random.Generator) -> ConfigDict:
         """Decode, repairing constraint violations by local perturbation.
 
@@ -167,9 +275,90 @@ class ConfigSpace:
             f"constraints may be unsatisfiable: {sorted(self.constraints)}"
         )
 
-    def sample_batch(self, rng: np.random.Generator, count: int) -> List[ConfigDict]:
-        """``count`` independent uniform valid configurations."""
-        return [self.sample(rng) for _ in range(count)]
+    def sample_batch(
+        self, rng: np.random.Generator, count: int, vectorized: bool = True
+    ) -> List[ConfigDict]:
+        """``count`` independent uniform valid configurations (vectorised).
+
+        Distribution-identical to ``[self.sample(rng) for _ in
+        range(count)]`` — each slot rejection-samples until its constraints
+        accept — but the whole batch is drawn, decoded, and
+        constraint-masked as ``(count, dims)`` arrays, with one bulk
+        resample round-trip per rejection round instead of per-config
+        Python loops.  Because rejected/surplus draws are handled in bulk,
+        the RNG stream *ordering* differs from the scalar loop whenever any
+        draw is rejected — seeded trajectories of callers (TPE, Hyperband,
+        ``estimate_optimum``) therefore changed when this landed.
+        ``vectorized=False`` restores the historical per-config stream
+        exactly.
+        """
+        if not vectorized:
+            return [self.sample(rng) for _ in range(count)]
+        columns = self._sample_columns(rng, count)
+        return [self.config_at(columns, i) for i in range(count)]
+
+    def sample_batch_encoded(
+        self, rng: np.random.Generator, count: int
+    ) -> Tuple[np.ndarray, ColumnBatch]:
+        """Like :meth:`sample_batch`, but stays in batch form.
+
+        Returns ``(matrix, columns)``: the encoded candidate matrix plus
+        the typed per-parameter columns behind it.  The BO proposer scores
+        the matrix directly and materialises a typed dict (via
+        :meth:`config_at`) only for the single winning row — no per-config
+        dict building for the other candidates.  ``matrix`` agrees with
+        ``encode_batch`` of the decoded configs to floating-point rounding
+        (see :meth:`Parameter.encode_column`).
+        """
+        columns = self._sample_columns(rng, count)
+        return self._encode_columns(columns, count), columns
+
+    def _sample_columns(self, rng: np.random.Generator, count: int) -> ColumnBatch:
+        """Vectorised rejection sampling → columns of ``count`` valid rows.
+
+        Each round draws fresh unit-cube rows for every still-unfilled
+        slot, decodes them column-wise, and applies :meth:`valid_mask`;
+        accepted rows land in their slots, rejected slots are redrawn next
+        round.  After ``max_rejection_tries`` rounds every slot has seen at
+        least that many candidates, matching the scalar :meth:`sample`
+        bound, so an unsatisfiable constraint set still raises
+        :class:`ExhaustedSpaceError`.
+        """
+        filled: Optional[ColumnBatch] = None
+        pending = np.arange(count)
+        for round_index in range(self.max_rejection_tries):
+            if pending.size == 0:
+                break
+            # Oversample the early rounds (constraint rejection runs
+            # 10-40% on realistic spaces) so the batch usually completes
+            # in one or two rounds; surplus valid rows are discarded,
+            # which leaves each slot's draw i.i.d. uniform-valid.
+            draw_count = (
+                pending.size + pending.size // 2 + 8
+                if round_index < 2
+                else pending.size
+            )
+            draws = rng.random((draw_count, self._dims))
+            columns = self._decode_columns(draws)
+            if filled is None:
+                filled = {
+                    name: np.empty(count, dtype=column.dtype)
+                    for name, column in columns.items()
+                }
+            mask = self.valid_mask(columns)
+            accepted = np.nonzero(mask)[0][: pending.size]
+            slots = pending[: accepted.size]
+            for name, column in columns.items():
+                filled[name][slots] = column[accepted]
+            pending = pending[accepted.size :]
+        if pending.size:
+            raise ExhaustedSpaceError(
+                f"no valid configuration found in {self.max_rejection_tries} tries; "
+                f"constraints may be unsatisfiable: {sorted(self.constraints)}"
+            )
+        if filled is None:  # count == 0
+            filled = {p.name: np.empty(0, dtype=object) for p in self.parameters}
+        return filled
 
     def latin_hypercube(self, rng: np.random.Generator, count: int) -> List[ConfigDict]:
         """A Latin-hypercube design of ``count`` valid configurations.
@@ -195,6 +384,72 @@ class ConfigSpace:
                 if self.is_valid(candidate):
                     result.append(candidate)
         return result
+
+    def neighbors_batch(
+        self,
+        config: ConfigDict,
+        rng: np.random.Generator,
+        base_row: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, List[ConfigDict]]:
+        """:meth:`neighbors` plus the encoded move matrix in one pass.
+
+        Returns ``(matrix, moves)`` with ``moves`` identical to
+        :meth:`neighbors` and ``matrix`` bit-identical to
+        ``encode_batch(moves)``: a single-knob move shares every other
+        parameter's encoding with ``config``, so each row is the base
+        encoding with one slice overwritten instead of a from-scratch
+        re-encode — the hill-climb scores the rows in place.  Validity is
+        decided by one :meth:`valid_mask` pass over the whole
+        neighbourhood instead of per-move predicate loops.
+
+        ``base_row`` optionally supplies ``encode(config)`` when the
+        caller already holds it (the hill-climb scored it last step).
+        """
+        base = np.asarray(base_row, dtype=float) if base_row is not None else self.encode(config)
+        # Moves come out grouped by parameter (the same order the scalar
+        # path emits), so each parameter's rows form one contiguous range.
+        all_moves: List[Tuple[Parameter, Tuple[int, int], Any]] = []
+        ranges: Dict[str, Tuple[int, List[Any]]] = {}
+        for param, offsets in zip(self.parameters, self._offsets):
+            param_moves = param.neighbors(config[param.name], rng)
+            if param_moves:
+                ranges[param.name] = (len(all_moves), param_moves)
+                for move in param_moves:
+                    all_moves.append((param, offsets, move))
+        if not all_moves:
+            return np.empty((0, self._dims)), []
+        # One column batch for the whole neighbourhood: every column is the
+        # base value except the moved knob's contiguous range.
+        count = len(all_moves)
+        columns: ColumnBatch = {}
+        for param in self.parameters:
+            value = config[param.name]
+            if isinstance(value, (bool, np.bool_)):
+                column = np.full(count, bool(value), dtype=bool)
+            elif isinstance(value, (int, np.integer)):
+                column = np.full(count, int(value), dtype=np.int64)
+            elif isinstance(value, (float, np.floating)):
+                column = np.full(count, float(value), dtype=float)
+            else:
+                column = np.empty(count, dtype=object)
+                column[:] = value
+            moved = ranges.get(param.name)
+            if moved is not None:
+                start, param_moves = moved
+                column[start : start + len(param_moves)] = param_moves
+            columns[param.name] = column
+        mask = self.valid_mask(columns)
+        matrix = np.tile(base, (int(mask.sum()), 1))
+        moves: List[ConfigDict] = []
+        row = 0
+        for i in np.nonzero(mask)[0]:
+            param, (start, end), move = all_moves[i]
+            matrix[row, start:end] = param.encode(move)
+            candidate = dict(config)
+            candidate[param.name] = move
+            moves.append(candidate)
+            row += 1
+        return matrix, moves
 
     # -- enumeration -----------------------------------------------------------
 

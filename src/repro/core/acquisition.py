@@ -16,11 +16,25 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 import numpy as np
-from scipy import stats
+from scipy import special
 
 AcquisitionFn = Callable[..., np.ndarray]
 
 _EPS = 1e-12
+
+#: sqrt(2*pi) — the standard-normal pdf normaliser (matches scipy's
+#: ``_norm_pdf_C``, so the closed forms below are bit-identical to
+#: ``stats.norm.pdf``/``cdf`` without their per-call distribution-object
+#: overhead, which dominated acquisition time on 512-candidate batches).
+_SQRT_2PI = np.sqrt(2.0 * np.pi)
+
+
+def _norm_cdf(z: np.ndarray) -> np.ndarray:
+    return special.ndtr(z)
+
+
+def _norm_pdf(z: np.ndarray) -> np.ndarray:
+    return np.exp(-(z * z) / 2.0) / _SQRT_2PI
 
 
 def _validate(mu: np.ndarray, sigma: np.ndarray) -> tuple:
@@ -40,7 +54,7 @@ def expected_improvement(
     mu, sigma = _validate(mu, sigma)
     gap = mu - incumbent - xi
     z = gap / sigma
-    return gap * stats.norm.cdf(z) + sigma * stats.norm.pdf(z)
+    return gap * _norm_cdf(z) + sigma * _norm_pdf(z)
 
 
 def probability_of_improvement(
@@ -48,7 +62,7 @@ def probability_of_improvement(
 ) -> np.ndarray:
     """Probability the candidate beats the incumbent by at least ``xi``."""
     mu, sigma = _validate(mu, sigma)
-    return stats.norm.cdf((mu - incumbent - xi) / sigma)
+    return _norm_cdf((mu - incumbent - xi) / sigma)
 
 
 def upper_confidence_bound(

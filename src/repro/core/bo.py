@@ -126,6 +126,38 @@ class _SurrogateCache:
         return gp
 
 
+class _EncodedRowCache:
+    """Incremental encoder for append-mostly trial lists.
+
+    Proposal latency used to include re-encoding the *entire* history (and
+    the cost model's success list) on every call.  Trials are frozen and
+    history clones share trial objects, so an identity-prefix comparison
+    tells exactly which suffix is new: only those rows are encoded and the
+    cached block is reused for the shared prefix.  A constant-liar round's
+    fantasies are fresh objects each round, so they re-encode (a handful
+    of rows); the real-trial prefix never does.
+    """
+
+    def __init__(self, space: ConfigSpace) -> None:
+        self.space = space
+        self._trials: List = []
+        self._rows = np.empty((0, space.dims))
+
+    def rows(self, trials: List) -> np.ndarray:
+        cached = self._trials
+        limit = min(len(cached), len(trials))
+        prefix = 0
+        while prefix < limit and cached[prefix] is trials[prefix]:
+            prefix += 1
+        if prefix == len(trials) == len(cached):
+            return self._rows
+        fresh = self.space.encode_batch([t.config for t in trials[prefix:]])
+        rows = np.vstack((self._rows[:prefix], fresh)) if prefix else fresh
+        self._trials = list(trials)
+        self._rows = rows
+        return rows
+
+
 class BayesianProposer:
     """Stateless-per-call BO proposal logic (state lives in the history).
 
@@ -156,6 +188,31 @@ class BayesianProposer:
         appends (see the module docstring).  ``False`` rebuilds every
         surrogate per call — kept as the (conservative) benchmark
         baseline.
+    vectorized_candidates:
+        Run the candidate pipeline on encoded ``(count, dims)`` arrays
+        end-to-end: candidates are drawn by
+        :meth:`ConfigSpace.sample_batch_encoded` (vectorised rejection
+        sampling and constraint masking), scored in place, and only the
+        winning row's typed dict is ever touched; the hill-climb scores
+        :meth:`ConfigSpace.neighbors_batch` rows the same way.  ``False``
+        restores the scalar per-config loop (one :meth:`ConfigSpace.sample`
+        call per candidate plus an ``encode_batch`` re-encode), which
+        reproduces the historical *candidate RNG stream* bit-identically —
+        kept as the benchmark baseline
+        (``benchmarks/bench_p5_throughput.py``).  The flag scopes the
+        candidate pipeline only: the shared GP prediction path got
+        structurally faster in the same change (cached scaled inputs,
+        inverse-factor variances) and its last-ulp differences can flip a
+        near-tie argmax, so the fallback is not a bit-exact replay of
+        pre-change proposal *sequences*, only of their candidate stream.
+        The two paths draw the same marginal candidate distribution but
+        consume the RNG stream in a different order, so individual
+        proposals may differ between them.
+    fit_workers:
+        Fan each surrogate hyperparameter refit's multi-start L-BFGS-B
+        restarts across ``fit_workers`` processes (see
+        :class:`~repro.core.gp.GaussianProcess`); 1 = in-process serial,
+        bit-identical results either way.
     shard_cost_feature:
         Condition the ``"eipc"`` cost surrogate on the environment shard a
         trial ran on: the cost GP's input gains one extra dimension — the
@@ -181,7 +238,9 @@ class BayesianProposer:
         refit_every: int = 3,
         log_objective: str = "never",
         reuse_surrogate: bool = True,
+        vectorized_candidates: bool = True,
         shard_cost_feature: bool = False,
+        fit_workers: int = 1,
         seed: int = 0,
     ) -> None:
         if n_initial < 2:
@@ -192,6 +251,8 @@ class BayesianProposer:
             raise ValueError("refit_every must be >= 1")
         if log_objective not in ("auto", "never"):
             raise ValueError("log_objective must be 'auto' or 'never'")
+        if fit_workers < 1:
+            raise ValueError("fit_workers must be >= 1")
         self.space = space
         self.acquisition_name = acquisition
         self.acquisition = get_acquisition(acquisition)
@@ -207,13 +268,17 @@ class BayesianProposer:
         self.refit_every = refit_every
         self.log_objective = log_objective
         self.reuse_surrogate = reuse_surrogate
+        self.vectorized_candidates = vectorized_candidates
         self.shard_cost_feature = shard_cost_feature
+        self.fit_workers = fit_workers
         self.seed = seed
         self._initial_design: Optional[List[ConfigDict]] = None
         self._last_refit_at = -1
         self._log_active = False
         self._objective_cache = _SurrogateCache()
         self._cost_cache = _SurrogateCache()
+        self._train_rows = _EncodedRowCache(space)
+        self._cost_rows = _EncodedRowCache(space)
         self._shard_weights: dict = {}
         self._target_shard_weight: Optional[float] = None
         self.last_fit_diagnostics: dict = {}
@@ -241,27 +306,28 @@ class BayesianProposer:
         trials = history.trials
         if not trials:
             return np.array([]), np.array([])
-        ys = np.array([t.objective for t in trials if t.ok], dtype=float)
-        use_log = (
-            self.log_objective == "auto" and len(ys) > 0 and np.all(ys > 0)
+        count = len(trials)
+        ok = np.fromiter((t.ok for t in trials), dtype=bool, count=count)
+        raw = np.fromiter(
+            (t.objective if t.ok else 0.0 for t in trials), dtype=float, count=count
         )
+        ys = raw[ok]
+        use_log = self.log_objective == "auto" and ys.size > 0 and bool(np.all(ys > 0))
         self._log_active = use_log
         if use_log:
             ys = np.log(ys)
-        if len(ys) > 0:
-            penalty = ys.min() - (ys.std() if len(ys) > 1 and ys.std() > 0 else abs(ys.min()) * 0.1 + 1.0)
+        if ys.size > 0:
+            spread = float(ys.std()) if ys.size > 1 else 0.0
+            penalty = ys.min() - (spread if spread > 0 else abs(ys.min()) * 0.1 + 1.0)
         else:
             penalty = -1.0
-        rows = self.space.encode_batch([t.config for t in trials])
-        targets = []
-        for trial in trials:
-            if not trial.ok:
-                targets.append(penalty)
-            elif use_log:
-                targets.append(float(np.log(trial.objective)))
-            else:
-                targets.append(float(trial.objective))
-        return rows, np.array(targets)
+        rows = self._train_rows.rows(trials)
+        # One vectorised pass: successes get their (possibly logged)
+        # objective, failures the shared penalty — no per-trial np.log or
+        # repeated std() recomputation.
+        targets = np.full(count, float(penalty))
+        targets[ok] = ys
+        return rows, targets
 
     # -- proposal ------------------------------------------------------------
 
@@ -319,6 +385,7 @@ class BayesianProposer:
             factory=lambda: GaussianProcess(
                 kernel=make_kernel(self.kernel_name, self.space.dims),
                 seed=self.seed,
+                fit_workers=self.fit_workers,
             ),
             optimize=refit_due,
             allow_extend=self.reuse_surrogate,
@@ -331,23 +398,38 @@ class BayesianProposer:
             cost_model = self._fit_cost_model(history, refit_due)
 
         incumbent = float(np.max(y))
-        candidates = self._candidate_set(history, rng)
-        scored = self._score(candidates, surrogate, incumbent, cost_model)
+        if self.vectorized_candidates:
+            cand_x, lookup = self._candidate_matrix(history, rng)
+        else:
+            candidates = self._candidate_set(history, rng)
+            cand_x = self.space.encode_batch(candidates)
+            lookup = candidates.__getitem__
+        scored = self._score_encoded(cand_x, surrogate, incumbent, cost_model)
         order = int(np.argmax(scored))
-        best_config, best_score = candidates[order], float(scored[order])
+        best_config, best_score = lookup(order), float(scored[order])
 
         # Local refinement: climb the acquisition surface via single-knob
-        # moves from the best random candidate.
+        # moves from the best random candidate.  The vectorised path keeps
+        # every move in encoded form (one base row, one slice overwritten
+        # per move) and scores the matrix in place.
         current, current_score = best_config, best_score
+        current_row = cand_x[order]
         for _ in range(self.local_search_steps):
-            moves = self.space.neighbors(current, rng)
+            if self.vectorized_candidates:
+                moves_x, moves = self.space.neighbors_batch(
+                    current, rng, base_row=current_row
+                )
+            else:
+                moves = self.space.neighbors(current, rng)
+                moves_x = self.space.encode_batch(moves)
             if not moves:
                 break
-            move_scores = self._score(moves, surrogate, incumbent, cost_model)
+            move_scores = self._score_encoded(moves_x, surrogate, incumbent, cost_model)
             top = int(np.argmax(move_scores))
             if move_scores[top] <= current_score:
                 break
             current, current_score = moves[top], float(move_scores[top])
+            current_row = moves_x[top]
 
         self.last_fit_diagnostics = {
             # Cached at the surrogate's last fit/extension — no O(n^3)
@@ -362,21 +444,61 @@ class BayesianProposer:
     def _candidate_set(
         self, history: TrialHistory, rng: np.random.Generator
     ) -> List[ConfigDict]:
-        candidates = self.space.sample_batch(rng, self.n_candidates)
+        """Scalar candidate generation — the historical per-config loop.
+
+        Kept as the ``vectorized_candidates=False`` baseline: the explicit
+        ``sample`` loop reproduces the pre-vectorisation RNG stream exactly
+        (``ConfigSpace.sample_batch`` itself is batched now and consumes
+        the stream in a different order under rejection).
+        """
+        candidates = [self.space.sample(rng) for _ in range(self.n_candidates)]
         best = history.best()
         if best is not None:
             candidates.extend(self.space.neighbors(best.config, rng))
             candidates.append(dict(best.config))
         return candidates
 
-    def _score(
+    def _candidate_matrix(self, history: TrialHistory, rng: np.random.Generator):
+        """Vectorised candidate generation: encoded matrix + winner lookup.
+
+        The matrix comes straight from the batched sampling pipeline
+        (encode once); the incumbent's neighbourhood rows are spliced from
+        the incumbent's own encoding.  Scoring happens on the matrix; the
+        returned ``lookup(i)`` materialises row ``i`` as a typed dict, and
+        is called exactly once — for the argmax winner — so no dicts are
+        built for the other candidates.
+        """
+        x, columns = self.space.sample_batch_encoded(rng, self.n_candidates)
+        extras: List[ConfigDict] = []
+        best = history.best()
+        if best is not None:
+            moves_x, moves = self.space.neighbors_batch(best.config, rng)
+            best_x = self.space.encode(best.config)
+            x = np.vstack((x, moves_x, best_x[None, :]))
+            extras = moves + [dict(best.config)]
+
+        def lookup(index: int) -> ConfigDict:
+            if index < self.n_candidates:
+                return self.space.config_at(columns, index)
+            return extras[index - self.n_candidates]
+
+        return x, lookup
+
+    def _score_encoded(
         self,
-        candidates: List[ConfigDict],
+        x: np.ndarray,
         surrogate: GaussianProcess,
         incumbent: float,
         cost_model: Optional[GaussianProcess],
     ) -> np.ndarray:
-        x = self.space.encode_batch(candidates)
+        """Acquisition scores for already-encoded candidate rows.
+
+        The hot path: candidate matrices arrive pre-encoded from the
+        batched sampling pipeline / neighbourhood splicing and are scored
+        in place; the ``eipc`` cost surrogate reuses the same matrix
+        (with one extra shard-weight column when that feature is on)
+        instead of re-encoding the candidate set.
+        """
         mu, var = surrogate.predict(x)
         sigma = np.sqrt(var)
         if self.acquisition_name == "ei":
@@ -396,11 +518,13 @@ class BayesianProposer:
                     if self._target_shard_weight is not None
                     else 1.0
                 )
-                cost_x = np.hstack([x, np.full((x.shape[0], 1), float(weight))])
-            log_cost, _ = cost_model.predict(cost_x)
+                cost_x = np.empty((x.shape[0], x.shape[1] + 1))
+                cost_x[:, :-1] = x
+                cost_x[:, -1] = float(weight)
+            log_cost = cost_model.predict_mean(cost_x)
             cost = np.exp(np.clip(log_cost, -2.0, 20.0))
         else:
-            cost = np.ones(len(candidates))
+            cost = np.ones(x.shape[0])
         return self.acquisition(mu, sigma, incumbent, cost=cost, xi=self.xi)
 
     def _row_weight(self, trial) -> float:
@@ -420,7 +544,7 @@ class BayesianProposer:
         successes = history.successful()
         if len(successes) < 3:
             return None
-        x = self.space.encode_batch([t.config for t in successes])
+        x = self._cost_rows.rows(successes)
         if self.shard_cost_feature:
             # One extra input dimension: the cost multiplier of the shard
             # each probe ran on (1.0 for shard-less trials).  Fantasies
@@ -447,6 +571,7 @@ class BayesianProposer:
                 factory=lambda: GaussianProcess(
                     kernel=make_kernel(self.kernel_name, dims),
                     seed=self.seed + 1,
+                    fit_workers=self.fit_workers,
                 ),
                 optimize=optimize,
                 allow_extend=self.reuse_surrogate,

@@ -37,7 +37,12 @@ hyperparameters); nothing else mutates it.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+import copy
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 from scipy import linalg, optimize
@@ -54,6 +59,82 @@ _EXTEND_PIVOT_FLOOR = 1e-9
 
 class GPFitError(RuntimeError):
     """Raised when the GP cannot be fit (degenerate data)."""
+
+
+def _hyperfit_one(task: tuple) -> Tuple[float, np.ndarray]:
+    """Run one L-BFGS-B restart of the marginal-likelihood optimisation.
+
+    Top-level (picklable) so restarts can fan out across a process pool;
+    the serial path runs the exact same function in-process, which is what
+    makes ``fit_workers > 1`` bit-identical to serial: every restart is a
+    pure function of its task tuple, and the best-of reduction happens in
+    start order either way.
+    """
+    kernel, x, z, noise_variance, fit_noise, analytic, bounds, start = task
+    scratch = GaussianProcess(
+        kernel=kernel,
+        noise_variance=noise_variance,
+        fit_noise=fit_noise,
+        restarts=0,
+        analytic_gradients=analytic,
+    )
+    scratch._x = x
+    scratch._z = z
+    result = optimize.minimize(
+        lambda p: scratch._neg_log_marginal(p, jac=analytic),
+        start,
+        method="L-BFGS-B",
+        jac=analytic,
+        bounds=bounds,
+        options={"maxiter": 200},
+    )
+    return float(result.fun), result.x
+
+
+#: Persistent hyperfit worker pools, keyed by worker count and owner PID —
+#: the PID guard drops pools inherited through a fork (their workers
+#: belong to the parent and would dead-letter our submissions).
+_FIT_POOLS: Dict[int, ProcessPoolExecutor] = {}
+_FIT_POOLS_PID: Optional[int] = None
+
+
+def _fit_pool(workers: int) -> ProcessPoolExecutor:
+    global _FIT_POOLS_PID
+    if _FIT_POOLS_PID != os.getpid():
+        _FIT_POOLS.clear()
+        _FIT_POOLS_PID = os.getpid()
+    pool = _FIT_POOLS.get(workers)
+    if pool is None:
+        # Prefer fork: workers come up in milliseconds and inherit numpy
+        # warm; spawn (macOS/Windows default) works too since tasks and
+        # results are plain picklable tuples.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        _FIT_POOLS[workers] = pool
+    return pool
+
+
+def _run_hyperfit_tasks(
+    tasks: List[tuple], fit_workers: int
+) -> List[Tuple[float, np.ndarray]]:
+    """All restart results, in task order (the reduction key).
+
+    Falls back to in-process execution when the pool cannot be used
+    (sandboxes that forbid subprocesses, broken pools) — the results are
+    identical either way, only the wall-clock differs.
+    """
+    if fit_workers > 1 and len(tasks) > 1:
+        try:
+            pool = _fit_pool(min(fit_workers, len(tasks)))
+            return list(pool.map(_hyperfit_one, tasks))
+        except (BrokenProcessPool, OSError, PermissionError):
+            for stale in _FIT_POOLS.values():
+                stale.shutdown(wait=False, cancel_futures=True)
+            _FIT_POOLS.clear()
+    return [_hyperfit_one(task) for task in tasks]
 
 
 def _chol_with_jitter(matrix: np.ndarray) -> Tuple[np.ndarray, float]:
@@ -86,6 +167,13 @@ class GaussianProcess:
         Feed L-BFGS-B the closed-form marginal-likelihood gradient (one
         Cholesky per step).  ``False`` restores scipy's finite-difference
         fallback — kept only as the benchmark baseline.
+    fit_workers:
+        Fan the multi-start restarts across ``fit_workers`` worker
+        processes.  Deterministic: the same starts are generated either
+        way, every restart is an independent pure function, and the
+        best-of reduction runs in start order — ``fit_workers > 1`` fits
+        bit-identical hyperparameters to serial.  Falls back to serial
+        when subprocesses are unavailable.
     """
 
     def __init__(
@@ -96,22 +184,29 @@ class GaussianProcess:
         restarts: int = 3,
         seed: int = 0,
         analytic_gradients: bool = True,
+        fit_workers: int = 1,
     ) -> None:
         if noise_variance <= 0:
             raise ValueError("noise_variance must be positive")
         if restarts < 0:
             raise ValueError("restarts must be >= 0")
+        if fit_workers < 1:
+            raise ValueError("fit_workers must be >= 1")
         self.kernel = kernel
         self.noise_variance = float(noise_variance)
         self.fit_noise = fit_noise
         self.restarts = restarts
         self.seed = seed
         self.analytic_gradients = analytic_gradients
+        self.fit_workers = fit_workers
         self._x: Optional[np.ndarray] = None
         self._y: Optional[np.ndarray] = None
         self._z: Optional[np.ndarray] = None
         self._alpha: Optional[np.ndarray] = None
         self._chol: Optional[np.ndarray] = None
+        self._chol_inv: Optional[np.ndarray] = None
+        self._a_train: Optional[np.ndarray] = None
+        self._aa_train: Optional[np.ndarray] = None
         self._jitter: float = 0.0
         self._lml: Optional[float] = None
         self._y_mean = 0.0
@@ -192,12 +287,16 @@ class GaussianProcess:
             return (1e12, np.zeros_like(log_params)) if jac else 1e12
         if not jac:
             return -lml
+        # The gradient needs tr((aa^T - K^-1) dK) per hyperparameter.  The
+        # K^-1 factor comes from one cho_solve against the identity; the
+        # per-parameter traces collapse inside the kernel's closed-form
+        # contraction (grad_log_params_dot) — row sums plus one (n, d)
+        # GEMM — so no (p, n, n) derivative tensor is ever materialised.
         k_inv = linalg.cho_solve((chol, True), np.eye(n))
         a_mat = np.outer(alpha, alpha) - k_inv
         grad = np.empty_like(log_params)
         num_kernel = self.kernel.num_params()
-        d_cov = self.kernel.grad_log_params(self._x)
-        grad[:num_kernel] = 0.5 * np.einsum("ij,pij->p", a_mat, d_cov)
+        grad[:num_kernel] = 0.5 * self.kernel.grad_log_params_dot(self._x, a_mat)
         if self.fit_noise:
             # dK/d(log noise) = noise * I, so the trace term collapses.
             grad[num_kernel] = (
@@ -214,21 +313,29 @@ class GaussianProcess:
         for _ in range(self.restarts):
             start = np.array([lo + (hi - lo) * rng.random() for lo, hi in bounds])
             starts.append(start)
-        best_val = np.inf
-        best_params = self._log_params()
-        jac = self.analytic_gradients
-        for start in starts:
-            result = optimize.minimize(
-                lambda p: self._neg_log_marginal(p, jac=jac),
+        # Every restart gets its own kernel copy so the evaluations are
+        # independent pure functions — the same task list runs in-process
+        # or across the fit_workers pool with identical results.
+        tasks = [
+            (
+                copy.deepcopy(self.kernel),
+                self._x,
+                self._z,
+                self.noise_variance,
+                self.fit_noise,
+                self.analytic_gradients,
+                bounds,
                 start,
-                method="L-BFGS-B",
-                jac=jac,
-                bounds=bounds,
-                options={"maxiter": 200},
             )
-            if result.fun < best_val:
-                best_val = float(result.fun)
-                best_params = result.x
+            for start in starts
+        ]
+        outcomes = _run_hyperfit_tasks(tasks, self.fit_workers)
+        best_val = np.inf
+        best_params = starts[0]
+        for fun, params in outcomes:
+            if fun < best_val:
+                best_val = float(fun)
+                best_params = params
         self._apply_log_params(best_params)
 
     def _refresh_posterior(self) -> None:
@@ -246,6 +353,19 @@ class GaussianProcess:
             - float(np.sum(np.log(np.diag(self._chol))))
             - 0.5 * n * np.log(2.0 * np.pi)
         )
+        # Any factor change invalidates the lazily-built triangular inverse
+        # the variance fast path multiplies against.
+        self._chol_inv = None
+        # Cache the lengthscale-scaled training inputs for prediction:
+        # cross-covariances then cost one small GEMM instead of rescaling
+        # the training block on every predict call (hyperparameters only
+        # change through fit, which lands back here).
+        if hasattr(self.kernel, "from_sq_dists"):
+            self._a_train = self._x / self.kernel.lengthscales
+            self._aa_train = np.sum(self._a_train * self._a_train, axis=1)[:, None]
+        else:
+            self._a_train = None
+            self._aa_train = None
 
     # -- incremental updates ---------------------------------------------
 
@@ -327,6 +447,20 @@ class GaussianProcess:
 
     # -- prediction -----------------------------------------------------------
 
+    def _cross_covariance(self, x_star: np.ndarray) -> np.ndarray:
+        """``K(x_train, x_star)`` via the cached scaled training inputs.
+
+        Same arithmetic as the kernel's pairwise path, with the
+        training-side scaling/norms taken from the posterior cache instead
+        of being recomputed per call.
+        """
+        if self._a_train is not None:
+            b = x_star / self.kernel.lengthscales
+            bb = np.sum(b * b, axis=1)[None, :]
+            sq = self._aa_train + bb - 2.0 * (self._a_train @ b.T)
+            return self.kernel.from_sq_dists(np.maximum(sq, 0.0))
+        return self.kernel(self._x, x_star)
+
     def predict(self, x_star: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Posterior mean and variance (of the latent function) at ``x_star``.
 
@@ -335,14 +469,38 @@ class GaussianProcess:
         if self._x is None or self._chol is None:
             raise GPFitError("predict() before fit()")
         x_star = np.atleast_2d(np.asarray(x_star, dtype=float))
-        k_star = self.kernel(self._x, x_star)  # (n, m)
+        k_star = self._cross_covariance(x_star)  # (n, m)
         mean_z = k_star.T @ self._alpha
-        v = linalg.solve_triangular(self._chol, k_star, lower=True)
+        # Variance via a GEMM against the factor's lazily-built triangular
+        # inverse — one O(n^3/6) inversion per factor change buys every
+        # later predict a matmul instead of a LAPACK solve, which is what
+        # the hill-climb's many small neighbourhood batches are made of.
+        if self._chol_inv is None:
+            self._chol_inv = linalg.solve_triangular(
+                self._chol,
+                np.eye(self._chol.shape[0]),
+                lower=True,
+                check_finite=False,
+            )
+        v = self._chol_inv @ k_star
         var_z = self.kernel.diag(x_star) - np.sum(v * v, axis=0)
         var_z = np.maximum(var_z, 1e-12)
         mean = mean_z * self._y_std + self._y_mean
         var = var_z * self._y_std**2
         return mean, var
+
+    def predict_mean(self, x_star: np.ndarray) -> np.ndarray:
+        """Posterior mean only — skips the variance's triangular solve.
+
+        Bit-identical to ``predict(x_star)[0]``; the fast path for
+        consumers that never read the variance (the cost-aware acquisition
+        ranks by predicted cost *mean*).
+        """
+        if self._x is None or self._chol is None:
+            raise GPFitError("predict() before fit()")
+        x_star = np.atleast_2d(np.asarray(x_star, dtype=float))
+        k_star = self._cross_covariance(x_star)
+        return (k_star.T @ self._alpha) * self._y_std + self._y_mean
 
     def log_marginal_likelihood(self) -> float:
         """LML of the current fit (standardised-target units).

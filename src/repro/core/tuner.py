@@ -72,6 +72,16 @@ class MLConfigTuner(SearchStrategy):
         condition the cost surrogate on the shard each probe ran on and
         predict probe cost at the target shard (see
         :class:`~repro.core.bo.BayesianProposer`).  Off by default.
+    fit_workers:
+        Fan each GP hyperparameter refit's multi-start restarts across
+        ``fit_workers`` processes (bit-identical results to serial; see
+        :class:`~repro.core.gp.GaussianProcess`).  Surfaced on the CLI as
+        ``--fit-workers``.
+    vectorized_candidates:
+        Keep proposal candidates in encoded form end-to-end (the fast
+        default); ``False`` restores the scalar per-config candidate loop
+        — the benchmark baseline (see
+        :class:`~repro.core.bo.BayesianProposer`).
     n_candidates / kernel / xi / beta / seed:
         Forwarded to :class:`~repro.core.bo.BayesianProposer`.
     """
@@ -85,6 +95,8 @@ class MLConfigTuner(SearchStrategy):
         rejection_margin: float = 0.25,
         batch_lie: str = "incumbent",
         shard_cost_feature: bool = False,
+        fit_workers: int = 1,
+        vectorized_candidates: bool = True,
         n_candidates: int = 512,
         kernel: str = "matern52",
         xi: float = 0.01,
@@ -98,6 +110,8 @@ class MLConfigTuner(SearchStrategy):
             raise ValueError("rejection_margin must be non-negative")
         if batch_lie not in ("incumbent", "mean"):
             raise ValueError("batch_lie must be 'incumbent' or 'mean'")
+        if fit_workers < 1:
+            raise ValueError("fit_workers must be >= 1")
         self.acquisition = acquisition
         self.n_initial = n_initial
         self.early_termination = early_termination
@@ -105,6 +119,8 @@ class MLConfigTuner(SearchStrategy):
         self.rejection_margin = rejection_margin
         self.batch_lie = batch_lie
         self.shard_cost_feature = shard_cost_feature
+        self.fit_workers = fit_workers
+        self.vectorized_candidates = vectorized_candidates
         self.n_candidates = n_candidates
         self.kernel = kernel
         self.xi = xi
@@ -142,6 +158,8 @@ class MLConfigTuner(SearchStrategy):
                 xi=self.xi,
                 beta=self.beta,
                 shard_cost_feature=self.shard_cost_feature,
+                fit_workers=self.fit_workers,
+                vectorized_candidates=self.vectorized_candidates,
                 seed=self.seed,
             )
         return self._proposer

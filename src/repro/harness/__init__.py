@@ -8,6 +8,7 @@ from repro.harness.comparison import (
     standard_strategy_set,
 )
 from repro.harness.optimum import clear_optimum_cache, estimate_optimum
+from repro.harness.runner import fork_available, resolve_n_jobs, run_cells
 from repro.harness.tables import (
     ascii_chart,
     render_series,
@@ -23,9 +24,12 @@ __all__ = [
     "clear_optimum_cache",
     "compare_strategies",
     "estimate_optimum",
+    "fork_available",
     "metrics",
     "render_series",
     "render_table",
+    "resolve_n_jobs",
+    "run_cells",
     "save_csv",
     "standard_strategy_set",
     "to_csv",

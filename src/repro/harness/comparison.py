@@ -19,6 +19,7 @@ from repro.core.session import executor_for
 from repro.core.strategy import SearchStrategy, TuningBudget, TuningResult
 from repro.harness import metrics
 from repro.harness.optimum import estimate_optimum
+from repro.harness.runner import run_cells
 from repro.mlsim import TrainingEnvironment
 from repro.workloads import Workload
 
@@ -94,6 +95,7 @@ def compare_strategies(
     workers: int = 1,
     executor_mode: str = "sync",
     pool=None,
+    n_jobs: int = 1,
 ) -> Comparison:
     """Run every strategy ``repeats`` times and aggregate.
 
@@ -101,6 +103,13 @@ def compare_strategies(
     seed (same cluster, same per-trial-index noise): strategies are
     compared on an identical problem instance, the simulation analogue of
     benchmarking tuners against one physical deployment.
+
+    ``n_jobs`` fans the independent (strategy × repeat) cells across
+    worker processes (:mod:`repro.harness.runner`; ``None`` = one per
+    CPU).  Every cell builds its own strategy and environment from its
+    own seed, so results are identical to ``n_jobs=1`` — the knob changes
+    only the wall-clock of the comparison itself, never its outcome, and
+    is therefore deliberately *not* part of any experiment cache key.
 
     ``workers`` × ``executor_mode`` select the execution axis: one worker
     probes serially (the seed semantics); K > 1 with ``"sync"`` probes K
@@ -141,24 +150,33 @@ def compare_strategies(
         budget_trials=budget.max_trials,
     )
 
-    for name, factory in strategies.items():
-        results: List[TuningResult] = []
-        for repeat in range(repeats):
-            strategy = factory(seed + repeat)
-            env = (
-                None
-                if pool is not None
-                else TrainingEnvironment(
-                    workload,
-                    cluster,
-                    seed=env_seed,
-                    fidelity=fidelity,
-                    objective_name=objective,
-                )
+    def run_cell(factory: StrategyFactory, repeat: int) -> TuningResult:
+        strategy = factory(seed + repeat)
+        env = (
+            None
+            if pool is not None
+            else TrainingEnvironment(
+                workload,
+                cluster,
+                seed=env_seed,
+                fidelity=fidelity,
+                objective_name=objective,
             )
-            results.append(
-                strategy.run(env, space, budget, seed=seed + repeat, executor=executor)
-            )
+        )
+        return strategy.run(env, space, budget, seed=seed + repeat, executor=executor)
+
+    names = list(strategies)
+    cells = [
+        (lambda factory=strategies[name], repeat=repeat: run_cell(factory, repeat))
+        for name in names
+        for repeat in range(repeats)
+    ]
+    cell_results = run_cells(cells, n_jobs=n_jobs)
+
+    for position, name in enumerate(names):
+        results: List[TuningResult] = list(
+            cell_results[position * repeats : (position + 1) * repeats]
+        )
         curves = [metrics.normalized_best_so_far(r, optimum_value) for r in results]
         comparison.outcomes[name] = StrategyOutcome(
             name=name,

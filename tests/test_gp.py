@@ -302,6 +302,20 @@ class TestAnalyticGradients:
             # Slice 0 (d/d log variance) is the covariance matrix itself.
             assert np.allclose(grads[0], kernel_cls(4)(x, x))
 
+    @pytest.mark.parametrize("kernel_cls", [RBF, Matern52])
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_grad_contraction_matches_tensor_einsum(self, kernel_cls, seed):
+        """The GEMM-based contraction equals the (p, n, n)-tensor einsum."""
+        rng = np.random.default_rng(seed)
+        kernel = kernel_cls(4)
+        kernel.set_log_params(0.4 * rng.standard_normal(5))
+        x = rng.random((12, 4))
+        m = rng.standard_normal((12, 12))  # deliberately non-symmetric
+        reference = np.einsum("ij,pij->p", m, kernel.grad_log_params(x))
+        fast = kernel.grad_log_params_dot(x, m)
+        assert np.allclose(fast, reference, rtol=1e-9, atol=1e-11)
+
     def test_analytic_and_fd_fits_agree(self):
         rng = np.random.default_rng(1)
         x = rng.random((18, 2))
