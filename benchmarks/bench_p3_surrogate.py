@@ -16,6 +16,17 @@ modes:
   the propose/batch speedups are *conservative* relative to the true
   finite-difference pre-change code.
 
+The ``large`` section measures the sparse surrogate tier at histories
+where the exact tier stops being interactive (n in {1024, 4096}): both
+arms run the shipped incremental path with hyper-refits parked (hypers
+are warmed on a 64-trial prefix, the only regime where an exact hyperfit
+is affordable at these sizes), and differ only in ``sparse_threshold`` —
+``None`` pins the exact tier, the default 512 switches to the
+inducing-point tier (:class:`repro.core.gp.SparseGaussianProcess`,
+``max_inducing=256``).  Timed cells are the steady-state grow-by-one
+loop, so the exact arm pays its O(n^2) extend + O(n^3) variance-factor
+rebuild and the sparse arm its O(m^2) inner refactor.
+
 Run as a script to (re)generate the committed latency baseline::
 
     PYTHONPATH=src python benchmarks/bench_p3_surrogate.py --output BENCH_P3.json
@@ -48,7 +59,7 @@ from repro.core.kernels import make_kernel
 from repro.core.parallel import propose_batch
 from repro.mlsim import Measurement, TrainingConfig
 
-SCHEMA = "bench_p3_surrogate/v1"
+SCHEMA = "bench_p3_surrogate/v2"
 MODES = ("incremental", "rebuild")
 
 
@@ -131,6 +142,44 @@ def time_batch_round(space, n, k, mode, repeats, seed=0):
     return statistics.median(samples)
 
 
+def time_large_propose(space, n, sparse, repeats, seed=0, warm=64):
+    """Median latency (ms) of one proposal against an n-trial history,
+    exact tier pinned (``sparse=False``) or sparse tier enabled.
+
+    Protocol: hypers are fitted once against a ``warm``-trial prefix (the
+    exact tier's hyperfit is the only O(n^3)-per-gradient step, so at
+    n >= 1024 it must happen while the history is small), refits are then
+    parked, the history grows to ``n``, one untimed proposal builds the
+    full-size surrogate, and the timed loop measures the steady-state
+    grow-by-one path both tiers actually run between probes.
+    """
+    history = _history(space, warm, seed=seed)
+    proposer = BayesianProposer(
+        space,
+        acquisition="eipc",
+        n_initial=8,
+        n_candidates=512,
+        reuse_surrogate=True,
+        refit_every=10**9,
+        sparse_threshold=(512 if sparse else None),
+        max_inducing=256,
+        seed=seed,
+    )
+    rng = np.random.default_rng(seed + 3)
+    proposer.propose(history, rng)  # hyperfit on the affordable prefix
+    grow = np.random.default_rng(seed + 4)
+    for _ in range(n - warm):
+        _record_objective(history, space.sample(grow), grow)
+    proposer.propose(history, rng)  # untimed: grow the surrogate to n
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        config = proposer.propose(history, rng)
+        samples.append((time.perf_counter() - start) * 1e3)
+        _record_objective(history, config, rng)
+    return statistics.median(samples)
+
+
 def time_hyperfit(n, analytic, repeats, seed=0, dim=8):
     """Median latency (ms) of one full hyperparameter fit (restarts=2)."""
     rng = np.random.default_rng(seed)
@@ -155,8 +204,10 @@ def run_suite(quick=False, seed=0):
     space = ml_config_space(nodes)
     history_sizes = (16, 64) if quick else (16, 64, 256)
     batch_cells = ((4, 64),) if quick else ((4, 64), (8, 256))
+    large_sizes = (1024,) if quick else (1024, 4096)
     propose_repeats = 5 if quick else 9
     batch_repeats = 2 if quick else 3
+    large_repeats = 2 if quick else 3
     hyperfit_repeats = 3 if quick else 5
 
     results = {
@@ -171,9 +222,12 @@ def run_suite(quick=False, seed=0):
             "batch_repeats": batch_repeats,
         },
         "propose": {},
+        "large": {},
         "batch": {},
         "hyperfit": {},
     }
+    results["config"]["sparse_threshold"] = 512
+    results["config"]["max_inducing"] = 256
 
     for n in history_sizes:
         cell = {}
@@ -184,6 +238,23 @@ def run_suite(quick=False, seed=0):
         print(
             f"propose n={n:>3}: rebuild {cell['rebuild_ms']:8.1f} ms  "
             f"incremental {cell['incremental_ms']:8.1f} ms  "
+            f"speedup {cell['speedup']:5.1f}x"
+        )
+
+    for n in large_sizes:
+        cell = {
+            "exact_ms": time_large_propose(
+                space, n, sparse=False, repeats=large_repeats, seed=seed
+            ),
+            "sparse_ms": time_large_propose(
+                space, n, sparse=True, repeats=large_repeats, seed=seed
+            ),
+        }
+        cell["speedup"] = cell["exact_ms"] / cell["sparse_ms"]
+        results["large"][f"n={n}"] = cell
+        print(
+            f"large n={n:>4}: exact {cell['exact_ms']:8.1f} ms  "
+            f"sparse {cell['sparse_ms']:8.1f} ms  "
             f"speedup {cell['speedup']:5.1f}x"
         )
 

@@ -24,6 +24,16 @@ Two subcommands:
     machine in the same run, so the verdict does not depend on how fast
     the runner hardware happens to be.
 
+    ``--min-value`` / ``--max-value`` gate on the current measurement
+    alone (no baseline): fail when ``current < min_value`` or
+    ``current > max_value``.  Use these for properties that must hold on
+    the runner itself — e.g. "parallel hyperfit beats serial at all" on a
+    multi-core CI machine, where a ratio against a baseline recorded on
+    different hardware would be meaningless.
+
+    A gated metric missing from either JSON exits 2 with a message naming
+    the metric (stale benchmark file), distinct from exit 1 (regression).
+
 Metrics are addressed as ``section/cell/field`` paths into the JSON
 (e.g. ``propose/n=64/incremental_ms``).
 """
@@ -51,6 +61,7 @@ def _lookup(results, metric):
 
 PREFERRED_SECTION_ORDER = (
     "propose",
+    "large",
     "throughput",
     "batch",
     "hyperfit",
@@ -118,33 +129,62 @@ def cmd_report(args):
 
 
 def cmd_check(args):
-    if (args.max_ratio is None) == (args.min_ratio is None):
-        print("check: pass exactly one of --max-ratio / --min-ratio")
+    bounds = (args.max_ratio, args.min_ratio, args.max_value, args.min_value)
+    if sum(bound is not None for bound in bounds) != 1:
+        print(
+            "check: pass exactly one of "
+            "--max-ratio / --min-ratio / --max-value / --min-value"
+        )
         return 2
-    baseline = _load(args.baseline)
+    ratio_mode = args.max_ratio is not None or args.min_ratio is not None
+    if ratio_mode and args.baseline is None:
+        print("check: ratio bounds compare against a baseline; pass --baseline")
+        return 2
     current = _load(args.current)
+    baseline = _load(args.baseline) if args.baseline is not None else None
     failures = []
     for metric in args.metric:
-        base = _lookup(baseline, metric)
-        now = _lookup(current, metric)
-        ratio = now / base if base > 0 else float("inf")
-        if args.max_ratio is not None:
-            regressed = ratio > args.max_ratio
-            bound = f"max {args.max_ratio:.2f}"
+        try:
+            now = _lookup(current, metric)
+            base = _lookup(baseline, metric) if ratio_mode else None
+        except KeyError as exc:
+            # A missing gated metric is a stale benchmark file, not a code
+            # regression — name the metric instead of dumping a traceback,
+            # and exit with the usage status so CI logs read unambiguously.
+            print(f"check: {exc.args[0]}")
+            print(
+                "check: the benchmark JSON does not carry this metric — "
+                "regenerate it with the current benchmark script"
+            )
+            return 2
+        if ratio_mode:
+            ratio = now / base if base > 0 else float("inf")
+            if args.max_ratio is not None:
+                regressed = ratio > args.max_ratio
+                bound = f"max {args.max_ratio:.2f}"
+            else:
+                regressed = ratio < args.min_ratio
+                bound = f"min {args.min_ratio:.2f}"
+            status = "REGRESSED" if regressed else "ok"
+            print(
+                f"{metric}: baseline {base:.2f} current {now:.2f} "
+                f"ratio {ratio:.2f} ({bound}) {status}"
+            )
         else:
-            regressed = ratio < args.min_ratio
-            bound = f"min {args.min_ratio:.2f}"
-        status = "REGRESSED" if regressed else "ok"
-        print(
-            f"{metric}: baseline {base:.2f} current {now:.2f} "
-            f"ratio {ratio:.2f} ({bound}) {status}"
-        )
+            if args.max_value is not None:
+                regressed = now > args.max_value
+                bound = f"max value {args.max_value:.2f}"
+            else:
+                regressed = now < args.min_value
+                bound = f"min value {args.min_value:.2f}"
+            status = "REGRESSED" if regressed else "ok"
+            print(f"{metric}: current {now:.2f} ({bound}) {status}")
         if regressed:
             failures.append(metric)
     if failures:
-        print(f"FAIL: {len(failures)} metric(s) regressed beyond the allowed ratio")
+        print(f"FAIL: {len(failures)} metric(s) regressed beyond the allowed bound")
         return 1
-    print("PASS: no metric regressed beyond the allowed ratio")
+    print("PASS: no metric regressed beyond the allowed bound")
     return 0
 
 
@@ -157,7 +197,10 @@ def main(argv=None):
     report.set_defaults(func=cmd_report)
 
     check = sub.add_parser("check", help="regression-gate against a baseline")
-    check.add_argument("--baseline", required=True)
+    check.add_argument(
+        "--baseline", default=None,
+        help="committed baseline JSON (required for the ratio bounds)",
+    )
     check.add_argument("--current", required=True)
     check.add_argument(
         "--metric",
@@ -173,6 +216,15 @@ def main(argv=None):
     check.add_argument(
         "--min-ratio", type=float, default=None,
         help="fail when current < min_ratio * baseline (higher-is-better metrics)",
+    )
+    check.add_argument(
+        "--max-value", type=float, default=None,
+        help="fail when current > max_value — absolute bound, no baseline needed",
+    )
+    check.add_argument(
+        "--min-value", type=float, default=None,
+        help="fail when current < min_value — absolute bound for metrics that "
+        "must hold on the runner itself (e.g. a live multi-core speedup floor)",
     )
     check.set_defaults(func=cmd_check)
 

@@ -33,6 +33,8 @@ class CherryPick(SearchStrategy):
         min_trials: int = 12,
         n_candidates: int = 512,
         fit_workers: int = 1,
+        sparse_threshold: Optional[int] = 512,
+        max_inducing: int = 256,
         seed: int = 0,
     ) -> None:
         if not 0.0 <= ei_stop_fraction < 1.0:
@@ -44,6 +46,8 @@ class CherryPick(SearchStrategy):
         self.min_trials = min_trials
         self.n_candidates = n_candidates
         self.fit_workers = fit_workers
+        self.sparse_threshold = sparse_threshold
+        self.max_inducing = max_inducing
         self.seed = seed
         self._proposer: Optional[BayesianProposer] = None
         self._stopped = False
@@ -60,6 +64,8 @@ class CherryPick(SearchStrategy):
                 n_initial=self.n_initial,
                 n_candidates=self.n_candidates,
                 fit_workers=self.fit_workers,
+                sparse_threshold=self.sparse_threshold,
+                max_inducing=self.max_inducing,
                 seed=self.seed,
             )
         return self._proposer
@@ -77,14 +83,18 @@ class CherryPick(SearchStrategy):
         space: ConfigSpace,
         rng: np.random.Generator,
         k: int,
+        shards=None,
     ) -> List[ConfigDict]:
         """Constant-liar batch, same as the paper's tuner uses.
 
         The EI-threshold stopping rule still applies: the check runs on
         the last (fantasy-extended) fit, so a parallel session stops at
-        the same convergence signal a serial one would.
+        the same convergence signal a serial one would.  On a fleet, each
+        member's fantasy lies with its own shard's probe speed.
         """
-        batch = constant_liar_batch(self._ensure_proposer(space), history, rng, k)
+        batch = constant_liar_batch(
+            self._ensure_proposer(space), history, rng, k, shards=shards
+        )
         self._maybe_stop(history)
         return batch
 

@@ -62,6 +62,7 @@ class GridSearch(SearchStrategy):
         space: ConfigSpace,
         rng: np.random.Generator,
         k: int,
+        shards=None,
     ) -> List[ConfigDict]:
         """Up to ``k`` remaining grid points.
 

@@ -115,6 +115,7 @@ class SuccessiveHalving(SearchStrategy):
         space: ConfigSpace,
         rng: np.random.Generator,
         k: int,
+        shards=None,
     ) -> List[ConfigDict]:
         """Up to ``k`` members of the *current* rung.
 

@@ -84,6 +84,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "only)",
     )
     tune.add_argument(
+        "--sparse-threshold", type=int, default=None, metavar="N",
+        help="history size at which GP surrogates switch to the "
+        "inducing-point sparse tier (0 = never switch; default: the "
+        "strategy's own threshold, 512; BO-family strategies only)",
+    )
+    tune.add_argument(
+        "--max-inducing", type=int, default=None, metavar="M",
+        help="inducing-point cap for the sparse surrogate tier (default: "
+        "the strategy's own cap, 256; BO-family strategies only)",
+    )
+    tune.add_argument(
         "--executor", default="sync", choices=list(EXECUTOR_MODES),
         help="multi-worker execution: 'sync' round barriers or 'async' "
         "barrier-free (each worker pulls a new proposal when it frees up)",
@@ -185,6 +196,12 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     if args.fit_workers < 1:
         print("--fit-workers must be >= 1", file=sys.stderr)
         return 2
+    if args.sparse_threshold is not None and 0 < args.sparse_threshold < 4:
+        print("--sparse-threshold must be 0 (off) or >= 4", file=sys.stderr)
+        return 2
+    if args.max_inducing is not None and args.max_inducing < 4:
+        print("--max-inducing must be >= 4", file=sys.stderr)
+        return 2
     if args.trials < 1:
         print("--trials must be >= 1", file=sys.stderr)
         return 2
@@ -216,6 +233,21 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             print(
                 f"note: --fit-workers only applies to GP-based strategies; "
                 f"{args.strategy!r} has no hyperparameter fits to fan out",
+                file=sys.stderr,
+            )
+    if args.sparse_threshold is not None or args.max_inducing is not None:
+        if hasattr(strategy, "sparse_threshold"):
+            if args.sparse_threshold is not None:
+                # 0 disables the sparse tier outright (maps to None).
+                strategy.sparse_threshold = (
+                    args.sparse_threshold if args.sparse_threshold > 0 else None
+                )
+            if args.max_inducing is not None:
+                strategy.max_inducing = args.max_inducing
+        else:
+            print(
+                f"note: --sparse-threshold/--max-inducing only apply to "
+                f"GP-based strategies; {args.strategy!r} has no surrogate",
                 file=sys.stderr,
             )
     if pool is not None:

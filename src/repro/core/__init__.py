@@ -21,7 +21,12 @@ from repro.core.fleet import (
     make_scheduler,
     parse_shard_spec,
 )
-from repro.core.gp import GaussianProcess, GPFitError
+from repro.core.gp import (
+    GaussianProcess,
+    GPFitError,
+    SparseGaussianProcess,
+    SurrogateFactory,
+)
 from repro.core.importance import fit_surrogate, knob_importance, ranked_knobs
 from repro.core.kernels import KERNELS, Kernel, Matern52, RBF, make_kernel
 from repro.core.parallel import propose_async, propose_batch, run_parallel_round
@@ -61,6 +66,8 @@ __all__ = [
     "Matern52",
     "RBF",
     "SearchStrategy",
+    "SparseGaussianProcess",
+    "SurrogateFactory",
     "Trial",
     "TrialHistory",
     "TuningBudget",

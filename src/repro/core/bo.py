@@ -39,7 +39,12 @@ instead of rebuilding them per call:
 - any other change to the training set (a fantasy replaced by its real
   measurement, the failure penalty shifting, the log transform toggling)
   misses the cache and falls back to one plain Cholesky refit at the
-  cached hyperparameters — correctness never depends on the cache.
+  cached hyperparameters — correctness never depends on the cache;
+- past ``sparse_threshold`` trials the cache switches the surrogate to the
+  inducing-point sparse tier (:class:`~repro.core.gp.SparseGaussianProcess`
+  via :class:`~repro.core.gp.SurrogateFactory`), which keeps extension,
+  prediction, and hyper-refit costs bounded by ``max_inducing`` instead of
+  the history size — the tier that keeps 10^4-trial histories interactive.
 
 ``reuse_surrogate=False`` disables the caching and restores rebuild-per-
 call surrogates (with a full cost-GP hyperparameter fit per call); it
@@ -58,7 +63,7 @@ import numpy as np
 
 from repro.configspace import ConfigDict, ConfigSpace
 from repro.core.acquisition import get_acquisition
-from repro.core.gp import GaussianProcess, GPFitError
+from repro.core.gp import GaussianProcess, GPFitError, SurrogateFactory
 from repro.core.kernels import make_kernel
 from repro.core.trial import TrialHistory
 
@@ -72,13 +77,23 @@ class _SurrogateCache:
 
     - ``optimize=True`` — fresh fit with hyperparameter optimisation; the
       fitted hypers are cached for the rebuild path;
-    - cached training set is a prefix of ``(x, y)`` — block-Cholesky
-      extension of the cached factor, O(m n^2), hyperparameters fixed;
-    - otherwise — fresh single-Cholesky fit at the cached hypers.
+    - cached training set is a prefix of ``(x, y)`` *and* the cached GP is
+      still the tier the factory picks for the new size — incremental
+      extension of the cached factors, hyperparameters fixed;
+    - otherwise — fresh single-factorisation fit at the cached hypers.
+
+    ``factory`` is a :class:`~repro.core.gp.SurrogateFactory`: the cache
+    asks it which tier an ``n``-row training set belongs to and for fresh
+    unfitted models.  A tier mismatch (the history just crossed the
+    exact→sparse threshold) forces a rebuild *at the crossing trial* — not
+    at the next hyper-refit — so the switchover happens on schedule even
+    when refits are far apart.  Both tiers share the hyperparameter cache
+    format (kernel log-params plus log noise), so a switchover rebuild
+    reuses the hypers the exact tier last optimised.
     """
 
     def __init__(self) -> None:
-        self.gp: Optional[GaussianProcess] = None
+        self.gp = None
         self.hypers: Optional[np.ndarray] = None
         self._x: Optional[np.ndarray] = None
         self._y: Optional[np.ndarray] = None
@@ -96,14 +111,15 @@ class _SurrogateCache:
         self,
         x: np.ndarray,
         y: np.ndarray,
-        factory,
+        factory: SurrogateFactory,
         optimize: bool,
         allow_extend: bool = True,
-    ) -> GaussianProcess:
+    ):
         if (
             not optimize
             and allow_extend
             and self.gp is not None
+            and factory.tier_for(y.shape[0]) == factory.tier_of(self.gp)
             and self._extends_cached(x, y)
         ):
             n = self._y.shape[0]
@@ -111,7 +127,7 @@ class _SurrogateCache:
                 self.gp.extend(x[n:], y[n:])
             self._x, self._y = x, y
             return self.gp
-        gp = factory()
+        gp = factory.build(y.shape[0])
         if optimize or self.hypers is None:
             gp.fit(x, y, optimize_hypers=True)
             self.hypers = np.concatenate(
@@ -223,6 +239,19 @@ class BayesianProposer:
         On a heterogeneous fleet this keeps a slow shard's probes from
         inflating the predicted cost of probing the same point on a fast
         shard.  Off by default; irrelevant outside pool execution.
+    sparse_threshold:
+        History size at which the surrogates switch from the exact
+        :class:`~repro.core.gp.GaussianProcess` to the inducing-point
+        :class:`~repro.core.gp.SparseGaussianProcess` tier (see
+        :class:`~repro.core.gp.SurrogateFactory`).  Below the threshold
+        behaviour is bit-identical to the exact-only code; ``None``
+        disables the sparse tier entirely.  The switchover happens at the
+        crossing trial (the cache rebuilds on tier mismatch), and the
+        sparse tier keeps the same extend-per-append / refit-on-cadence
+        fast paths with every per-proposal cost bounded by
+        ``max_inducing`` instead of the history size.
+    max_inducing:
+        Inducing-set cap for the sparse tier.
     """
 
     def __init__(
@@ -241,6 +270,8 @@ class BayesianProposer:
         vectorized_candidates: bool = True,
         shard_cost_feature: bool = False,
         fit_workers: int = 1,
+        sparse_threshold: Optional[int] = 512,
+        max_inducing: int = 256,
         seed: int = 0,
     ) -> None:
         if n_initial < 2:
@@ -253,6 +284,10 @@ class BayesianProposer:
             raise ValueError("log_objective must be 'auto' or 'never'")
         if fit_workers < 1:
             raise ValueError("fit_workers must be >= 1")
+        if sparse_threshold is not None and sparse_threshold < 4:
+            raise ValueError("sparse_threshold must be >= 4 (or None)")
+        if max_inducing < 4:
+            raise ValueError("max_inducing must be >= 4")
         self.space = space
         self.acquisition_name = acquisition
         self.acquisition = get_acquisition(acquisition)
@@ -271,7 +306,10 @@ class BayesianProposer:
         self.vectorized_candidates = vectorized_candidates
         self.shard_cost_feature = shard_cost_feature
         self.fit_workers = fit_workers
+        self.sparse_threshold = sparse_threshold
+        self.max_inducing = max_inducing
         self.seed = seed
+        self._factories: dict = {}
         self._initial_design: Optional[List[ConfigDict]] = None
         self._last_refit_at = -1
         self._log_active = False
@@ -282,6 +320,27 @@ class BayesianProposer:
         self._shard_weights: dict = {}
         self._target_shard_weight: Optional[float] = None
         self.last_fit_diagnostics: dict = {}
+
+    def _surrogate_factory(self, dims: int, seed: int) -> SurrogateFactory:
+        """The (cached) tier factory for a ``dims``-dimensional surrogate.
+
+        One factory per (dims, seed) pair: the objective surrogate uses
+        the space's dimension and the proposer's seed; the cost surrogate
+        uses ``seed + 1`` and one extra dimension when the shard cost
+        feature is on.
+        """
+        key = (dims, seed)
+        factory = self._factories.get(key)
+        if factory is None:
+            factory = SurrogateFactory(
+                kernel_factory=lambda: make_kernel(self.kernel_name, dims),
+                sparse_threshold=self.sparse_threshold,
+                max_inducing=self.max_inducing,
+                seed=seed,
+                fit_workers=self.fit_workers,
+            )
+            self._factories[key] = factory
+        return factory
 
     def set_shard_weights(self, weights: dict) -> None:
         """Register shard-name → ``cost_multiplier`` mappings.
@@ -382,11 +441,7 @@ class BayesianProposer:
         surrogate = self._objective_cache.update(
             x,
             y,
-            factory=lambda: GaussianProcess(
-                kernel=make_kernel(self.kernel_name, self.space.dims),
-                seed=self.seed,
-                fit_workers=self.fit_workers,
-            ),
+            factory=self._surrogate_factory(self.space.dims, self.seed),
             optimize=refit_due,
             allow_extend=self.reuse_surrogate,
         )
@@ -568,11 +623,7 @@ class BayesianProposer:
             return self._cost_cache.update(
                 x,
                 log_cost,
-                factory=lambda: GaussianProcess(
-                    kernel=make_kernel(self.kernel_name, dims),
-                    seed=self.seed + 1,
-                    fit_workers=self.fit_workers,
-                ),
+                factory=self._surrogate_factory(dims, self.seed + 1),
                 optimize=optimize,
                 allow_extend=self.reuse_surrogate,
             )

@@ -97,12 +97,21 @@ def _append_fantasy(
     config: ConfigDict,
     lie_value: Optional[float],
     cost_lie: float,
+    shard: Optional[str] = None,
 ) -> None:
     """Record one fantasy trial for ``config`` on the working history.
 
     A ``None`` lie (no successful trial to lie about) records the fantasy
     as a failed probe: it still documents that machine time is committed
     at ``config`` without fabricating an objective value.
+
+    ``shard`` stamps the fantasy with the shard the probe will occupy, so
+    a shard-conditioned cost surrogate encodes the (shard-scaled) cost lie
+    at that shard's own weight — the batch path's fantasies can then carry
+    *different* shards within one round, which the single target-weight
+    fallback (:meth:`BayesianProposer._row_weight`) cannot express.  The
+    stamp lives only on the cloned working history, so per-shard cost
+    itemisation never sees a fantasy.
     """
     extended.record(
         config,
@@ -113,6 +122,7 @@ def _append_fantasy(
             objective=lie_value,
             probe_cost_s=cost_lie,
         ),
+        shard=shard,
     )
 
 
@@ -122,12 +132,23 @@ def propose_batch(
     rng: np.random.Generator,
     batch_size: int,
     lie: str = "incumbent",
+    shards: Optional[Sequence] = None,
 ) -> List[ConfigDict]:
     """Propose ``batch_size`` diverse configurations for parallel probing.
 
     ``lie`` selects the fantasy value: ``"incumbent"`` (the constant liar —
     conservative, strongly diversifying) or ``"mean"`` (the mean of
     observed objectives — milder).
+
+    ``shards`` carries the round's shard assignments (one
+    :class:`~repro.core.fleet.ShardDescriptor` or ``None`` per member, in
+    batch order) when the round fans across a heterogeneous pool.  Each
+    member's proposal then scores candidates at its own shard's
+    ``cost_multiplier``, and its fantasy commits the probe-cost lie scaled
+    to that shard's speed and stamped with the shard name — so the round
+    is no longer shard-blind: a member bound for a 1.5x shard lies about
+    1.5x the machine seconds, at the right weight in a shard-conditioned
+    cost surrogate.
 
     One metadata-preserving working copy of the history is built per call
     (:meth:`TrialHistory.clone`) and fantasies are appended to it
@@ -139,14 +160,31 @@ def propose_batch(
         raise ValueError("batch_size must be >= 1")
     if lie not in ("incumbent", "mean"):
         raise ValueError(f"lie must be 'incumbent' or 'mean', got {lie!r}")
+    if shards is not None and len(shards) < batch_size:
+        raise ValueError(
+            f"shards has {len(shards)} entries for a batch of {batch_size}"
+        )
 
     lie_value, cost_lie = _fantasy_lies(history, lie)
     extended = history.clone()
     batch: List[ConfigDict] = []
-    for _ in range(batch_size):
-        config = proposer.propose(extended, rng)
+    for member in range(batch_size):
+        shard = shards[member] if shards is not None else None
+        if shard is None:
+            config = proposer.propose(extended, rng)
+            _append_fantasy(extended, config, lie_value, cost_lie)
+        else:
+            config = proposer.propose(
+                extended, rng, shard_weight=shard.cost_multiplier
+            )
+            _append_fantasy(
+                extended,
+                config,
+                lie_value,
+                cost_lie * shard.cost_multiplier,
+                shard=shard.name,
+            )
         batch.append(config)
-        _append_fantasy(extended, config, lie_value, cost_lie)
     return batch
 
 

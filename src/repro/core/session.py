@@ -394,9 +394,6 @@ class ParallelExecutor(Executor):
             k = min(k, budget.max_trials - len(history))
         if k < 1:
             return []
-        batch = strategy.propose_batch(history, space, rng, k)
-        if not batch:
-            return []
         round_index = history.num_rounds
         round_start_wall_s = history.total_wall_clock_s
         shards: List[Optional[EnvironmentShard]] = []
@@ -406,20 +403,37 @@ class ParallelExecutor(Executor):
             # All members launch at the round start, so shard slots are
             # assigned up front (and held until the round closes — the
             # synchronous barrier occupies its machines for the whole
-            # round).  Assignment happens inside the try so a scheduler
-            # failing mid-round cannot leak the slots already acquired.
-            for _ in batch:
-                if self.pool is None:
-                    shards.append(None)
-                    continue
-                shard = self.pool.scheduler.select(self.pool)
-                if shard is None:
-                    raise RuntimeError(
-                        "pool saturated mid-assignment: scheduler returned no "
-                        "shard for a round within the pool's total capacity"
-                    )
-                self.pool.acquire(shard.name)
-                shards.append(shard)
+            # round).  Assignment runs *before* the proposals so the
+            # strategy sees where each member will run — cost-aware
+            # strategies condition each member's proposal and fantasy on
+            # its own shard's probe speed — and inside the try so a
+            # scheduler failing mid-assignment cannot leak the slots
+            # already acquired.
+            descriptors = None
+            if self.pool is not None:
+                for _ in range(k):
+                    shard = self.pool.scheduler.select(self.pool)
+                    if shard is None:
+                        raise RuntimeError(
+                            "pool saturated mid-assignment: scheduler returned "
+                            "no shard for a round within the pool's total "
+                            "capacity"
+                        )
+                    self.pool.acquire(shard.name)
+                    shards.append(shard)
+                descriptors = [shard.descriptor for shard in shards]
+            batch = strategy.propose_batch(history, space, rng, k, shards=descriptors)
+            if not batch:
+                return []
+            if self.pool is None:
+                shards = [None] * len(batch)
+            elif len(batch) < len(shards):
+                # Short batch (grid exhaustion, rung boundary): the unused
+                # trailing slots never probe anything — hand them back now
+                # rather than holding them across the round barrier.
+                for shard in shards[len(batch):]:
+                    self.pool.release(shard.name)
+                shards = shards[: len(batch)]
             for offset, config in enumerate(batch):
                 events.trial_start(len(history) + offset, config)
             for member, (config, shard) in enumerate(zip(batch, shards)):

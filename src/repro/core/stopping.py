@@ -173,9 +173,14 @@ class StoppedStrategy(SearchStrategy):
         return self.inner.propose(history, space, rng)
 
     def propose_batch(
-        self, history: TrialHistory, space: ConfigSpace, rng: np.random.Generator, k: int
+        self,
+        history: TrialHistory,
+        space: ConfigSpace,
+        rng: np.random.Generator,
+        k: int,
+        shards=None,
     ) -> List[ConfigDict]:
-        return self.inner.propose_batch(history, space, rng, k)
+        return self.inner.propose_batch(history, space, rng, k, shards=shards)
 
     def propose_async(
         self,

@@ -130,6 +130,7 @@ class SearchStrategy(ABC):
         space: ConfigSpace,
         rng: np.random.Generator,
         k: int,
+        shards: Optional[Sequence] = None,
     ) -> List[ConfigDict]:
         """Hook: return up to ``k`` configurations to probe concurrently.
 
@@ -141,6 +142,14 @@ class SearchStrategy(ABC):
         model-based strategies override with a diversifying scheme — the
         BO tuner uses constant-liar fantasisation
         (:mod:`repro.core.parallel`).
+
+        ``shards`` carries the round's shard assignments — one
+        :class:`~repro.core.fleet.ShardDescriptor` (or ``None``) per
+        member, in batch order — when the session fans across an
+        :class:`~repro.core.fleet.EnvironmentPool`.  Cost-aware strategies
+        use it to condition each member's proposal and constant-liar
+        fantasy on the shard that member will actually occupy; the default
+        ignores it.
         """
         if k < 1:
             raise ValueError("k must be >= 1")

@@ -82,6 +82,14 @@ class MLConfigTuner(SearchStrategy):
         default); ``False`` restores the scalar per-config candidate loop
         — the benchmark baseline (see
         :class:`~repro.core.bo.BayesianProposer`).
+    sparse_threshold / max_inducing:
+        Surrogate tier policy for long sessions: past ``sparse_threshold``
+        trials the GP surrogates switch to the inducing-point sparse tier
+        capped at ``max_inducing`` points, keeping proposal latency flat
+        as the history grows (see
+        :class:`~repro.core.gp.SurrogateFactory`).  ``sparse_threshold=None``
+        keeps the exact tier at every size.  Surfaced on the CLI as
+        ``--sparse-threshold`` / ``--max-inducing``.
     n_candidates / kernel / xi / beta / seed:
         Forwarded to :class:`~repro.core.bo.BayesianProposer`.
     """
@@ -97,6 +105,8 @@ class MLConfigTuner(SearchStrategy):
         shard_cost_feature: bool = False,
         fit_workers: int = 1,
         vectorized_candidates: bool = True,
+        sparse_threshold: Optional[int] = 512,
+        max_inducing: int = 256,
         n_candidates: int = 512,
         kernel: str = "matern52",
         xi: float = 0.01,
@@ -121,6 +131,8 @@ class MLConfigTuner(SearchStrategy):
         self.shard_cost_feature = shard_cost_feature
         self.fit_workers = fit_workers
         self.vectorized_candidates = vectorized_candidates
+        self.sparse_threshold = sparse_threshold
+        self.max_inducing = max_inducing
         self.n_candidates = n_candidates
         self.kernel = kernel
         self.xi = xi
@@ -160,6 +172,8 @@ class MLConfigTuner(SearchStrategy):
                 shard_cost_feature=self.shard_cost_feature,
                 fit_workers=self.fit_workers,
                 vectorized_candidates=self.vectorized_candidates,
+                sparse_threshold=self.sparse_threshold,
+                max_inducing=self.max_inducing,
                 seed=self.seed,
             )
         return self._proposer
@@ -178,10 +192,26 @@ class MLConfigTuner(SearchStrategy):
         space: ConfigSpace,
         rng: np.random.Generator,
         k: int,
+        shards=None,
     ) -> list:
-        """Constant-liar batch: k diverse points for parallel probing."""
+        """Constant-liar batch: k diverse points for parallel probing.
+
+        With ``shards`` (the round's shard assignments, one descriptor per
+        member), each member's proposal and its fantasy condition on that
+        member's own shard: the probe-cost lie scales by the shard's
+        ``cost_multiplier``, the fantasy carries the shard name so a
+        shard-conditioned cost surrogate encodes it at the right weight,
+        and the member's candidates are scored at the target shard — the
+        synchronous analogue of what :meth:`propose_async` already does.
+        """
+        proposer = self._ensure_proposer(space)
+        if shards is not None:
+            for shard in shards:
+                if shard is not None:
+                    self._shard_weights[shard.name] = shard.cost_multiplier
+            proposer.set_shard_weights(self._shard_weights)
         return constant_liar_batch(
-            self._ensure_proposer(space), history, rng, k, lie=self.batch_lie
+            proposer, history, rng, k, lie=self.batch_lie, shards=shards
         )
 
     def propose_async(

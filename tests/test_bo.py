@@ -311,3 +311,123 @@ class TestPersistentSurrogate:
         assert proposer.last_fit_diagnostics["lml"] == pytest.approx(
             surrogate.log_marginal_likelihood()
         )
+
+
+class TestTierSwitchover:
+    """Exact→sparse surrogate switchover as the history crosses the threshold."""
+
+    def _history(self, space, n, seed=0):
+        rng = np.random.default_rng(seed)
+        history = TrialHistory()
+        for _ in range(n):
+            config = space.sample(rng)
+            record(history, config, toy_objective(config))
+        return history
+
+    def test_cache_switches_tier_at_crossing(self):
+        """The cached surrogate changes class the trial the threshold is hit,
+        even with hyper-refits parked far in the future."""
+        from repro.core.gp import GaussianProcess, SparseGaussianProcess
+
+        space = toy_space()
+        proposer = BayesianProposer(
+            space,
+            n_initial=3,
+            n_candidates=32,
+            refit_every=10**9,
+            sparse_threshold=20,
+            max_inducing=16,
+            seed=0,
+        )
+        rng = np.random.default_rng(0)
+        history = self._history(space, 16)
+        proposer.propose(history, rng)
+        assert type(proposer._objective_cache.gp) is GaussianProcess
+        while len(history) < 26:
+            config = proposer.propose(history, rng)
+            n_seen = len(history)  # the propose saw the pre-record history
+            record(history, config, toy_objective(config))
+            gp = proposer._objective_cache.gp
+            assert isinstance(gp, SparseGaussianProcess) == (n_seen >= 20)
+            assert gp.num_observations == n_seen
+
+    def test_proposals_deterministic_across_threshold(self):
+        """Two identical proposers stay in lockstep through the switchover."""
+        space = toy_space()
+
+        def run():
+            proposer = BayesianProposer(
+                space,
+                n_initial=3,
+                n_candidates=32,
+                sparse_threshold=20,
+                max_inducing=16,
+                seed=7,
+            )
+            rng = np.random.default_rng(7)
+            history = self._history(space, 4, seed=7)
+            configs = []
+            for _ in range(22):
+                config = proposer.propose(history, rng)
+                configs.append(config)
+                record(history, config, toy_objective(config))
+            return configs
+
+        assert run() == run()
+
+    def test_below_threshold_matches_exact_only_proposer(self):
+        """The default threshold leaves small-history behaviour bit-identical
+        to a proposer with the sparse tier disabled."""
+        space = toy_space()
+
+        def run(sparse_threshold):
+            proposer = BayesianProposer(
+                space,
+                n_initial=3,
+                n_candidates=32,
+                sparse_threshold=sparse_threshold,
+                seed=3,
+            )
+            rng = np.random.default_rng(3)
+            history = self._history(space, 4, seed=3)
+            configs = []
+            for _ in range(8):
+                config = proposer.propose(history, rng)
+                configs.append(config)
+                record(history, config, toy_objective(config))
+            return configs
+
+        assert run(512) == run(None)
+
+    def test_sparse_tier_batch_proposals_extend_cached_factor(self):
+        """Constant-liar rounds fast-path on the sparse tier too."""
+        from repro.core.gp import SparseGaussianProcess
+        from repro.core.parallel import propose_batch
+
+        space = toy_space()
+        proposer = BayesianProposer(
+            space,
+            n_initial=3,
+            n_candidates=32,
+            refit_every=100,
+            sparse_threshold=8,
+            max_inducing=8,
+            seed=4,
+        )
+        rng = np.random.default_rng(4)
+        history = self._history(space, 12, seed=4)
+        proposer.propose(history, rng)
+        cached = proposer._objective_cache.gp
+        assert isinstance(cached, SparseGaussianProcess)
+        batch = propose_batch(proposer, history, rng, 4)
+        assert len(batch) == 4
+        assert proposer._objective_cache.gp is cached
+        assert cached.num_observations == 12 + 3
+        assert cached.extend_fallbacks == 0
+
+    def test_validation(self):
+        space = toy_space()
+        with pytest.raises(ValueError):
+            BayesianProposer(space, sparse_threshold=2)
+        with pytest.raises(ValueError):
+            BayesianProposer(space, max_inducing=2)

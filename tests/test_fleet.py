@@ -468,6 +468,83 @@ class TestShardAwareProposals:
         assert {s.name for s in seen} == {"s0", "s1"}
         assert {s.cost_multiplier for s in seen} == {1.0, 2.0}
 
+    def test_parallel_executor_passes_round_shards_to_batch(self):
+        seen = []
+
+        class Recorder(SearchStrategy):
+            name = "recorder"
+
+            def propose(self, history, space_, rng):
+                return {"x": 0.5}
+
+            def propose_batch(self, history, space_, rng, k, shards=None):
+                seen.append(shards)
+                return [{"x": 0.5} for _ in range(k)]
+
+            def measure(self, env, config):
+                return Measurement(
+                    config=TrainingConfig(), ok=True, fidelity="stub",
+                    objective=1.0, probe_cost_s=1.0,
+                )
+
+        pool = two_speed_pool(multipliers=(1.0, 2.0))
+        TuningSession(Recorder(), executor=ParallelExecutor(pool=pool)).run(
+            None, stub_space(), TuningBudget(max_trials=4), seed=0
+        )
+        # Every round's batch saw one descriptor per member, covering both
+        # shards — the slots are assigned before the proposals are made.
+        assert seen and all(s is not None for s in seen)
+        for round_shards in seen:
+            assert {d.name for d in round_shards} == {"s0", "s1"}
+            assert {d.cost_multiplier for d in round_shards} == {1.0, 2.0}
+
+    def test_batch_fantasies_carry_member_shards(self):
+        from repro.core.fleet import ShardDescriptor
+        from repro.core.parallel import propose_batch
+
+        weights = []
+        histories = []
+
+        class SpyProposer:
+            def propose(self, history, rng, shard_weight=None):
+                weights.append(shard_weight)
+                histories.append(history)
+                return {"x": 0.25}
+
+        history = TrialHistory()
+        for cost in (40.0, 60.0, 80.0):
+            history.record(
+                {"x": 0.5},
+                Measurement(
+                    config=TrainingConfig(), ok=True, fidelity="stub",
+                    objective=1.0, probe_cost_s=cost,
+                ),
+            )
+        shards = [
+            ShardDescriptor("fast", 0, 1, 0.5),
+            ShardDescriptor("slow", 1, 1, 2.0),
+        ]
+        batch = propose_batch(
+            SpyProposer(), history, np.random.default_rng(0), 2, shards=shards
+        )
+        assert len(batch) == 2
+        # Each member proposed at its own shard's weight...
+        assert weights == [0.5, 2.0]
+        # ...and each member's fantasy lies at its own shard's scaled cost
+        # (median real cost 60s), stamped with that shard's name.
+        extended = histories[-1]
+        fast_fantasy, slow_fantasy = extended[3], extended[4]
+        assert fast_fantasy.measurement.fidelity == "fantasy"
+        assert fast_fantasy.shard == "fast"
+        assert fast_fantasy.measurement.probe_cost_s == pytest.approx(30.0)
+        assert slow_fantasy.shard == "slow"
+        assert slow_fantasy.measurement.probe_cost_s == pytest.approx(120.0)
+        with pytest.raises(ValueError):
+            propose_batch(
+                SpyProposer(), history, np.random.default_rng(0), 3,
+                shards=shards,
+            )
+
     def test_constant_liar_scales_cost_lie_to_shard(self):
         captured = {}
 

@@ -5,7 +5,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import GPFitError, GaussianProcess, Matern52, RBF, make_kernel
+from repro.core import (
+    GPFitError,
+    GaussianProcess,
+    Matern52,
+    RBF,
+    SparseGaussianProcess,
+    SurrogateFactory,
+    make_kernel,
+)
 
 
 class TestKernels:
@@ -261,6 +269,177 @@ class TestIncrementalExtension:
         chol, jitter = _chol_with_jitter(matrix)
         assert jitter > 1e-10
         assert np.all(np.isfinite(chol))
+
+
+class TestSparseGaussianProcess:
+    """The inducing-point tier behind the exact GP's interface."""
+
+    def _data(self, n, dim=3, seed=0, noisy=True):
+        rng = np.random.default_rng(seed)
+        x = rng.random((n, dim))
+        y = np.sin(3 * x[:, 0]) + 0.5 * x[:, 1] ** 2
+        if noisy:
+            y = y + 0.05 * rng.standard_normal(n)
+        return x, y
+
+    @pytest.mark.parametrize("kernel_name", ["rbf", "matern52"])
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_full_inducing_set_matches_exact_gp(self, kernel_name, seed):
+        """With m = n the DTC posterior *is* the exact posterior."""
+        rng = np.random.default_rng(seed)
+        dim = 3
+        n = 8 + int(rng.integers(0, 16))
+        x = rng.random((n, dim))
+        y = rng.standard_normal(n) * (1.0 + 5.0 * rng.random())
+        exact = GaussianProcess(kernel=make_kernel(kernel_name, dim), restarts=0)
+        exact.fit(x, y, optimize_hypers=False)
+        sparse = SparseGaussianProcess(
+            kernel=make_kernel(kernel_name, dim), restarts=0, max_inducing=n
+        )
+        sparse.fit(x, y, optimize_hypers=False)
+        x_star = rng.random((8, dim))
+        mean_e, var_e = exact.predict(x_star)
+        mean_s, var_s = sparse.predict(x_star)
+        assert np.allclose(mean_s, mean_e, atol=1e-6, rtol=0)
+        assert np.allclose(var_s, var_e, atol=1e-6, rtol=0)
+        assert np.allclose(
+            sparse.predict_mean(x_star), exact.predict_mean(x_star), atol=1e-6
+        )
+        assert sparse.log_marginal_likelihood() == pytest.approx(
+            exact.log_marginal_likelihood(), abs=1e-4
+        )
+
+    def test_full_inducing_hyperfit_matches_exact_gp(self):
+        """At m = n the hyperfit runs the exact machinery on the full data."""
+        x, y = self._data(20)
+        exact = GaussianProcess(restarts=1, seed=0).fit(x, y)
+        sparse = SparseGaussianProcess(restarts=1, seed=0, max_inducing=20).fit(x, y)
+        assert np.allclose(
+            sparse.kernel.get_log_params(), exact.kernel.get_log_params()
+        )
+        assert sparse.noise_variance == pytest.approx(exact.noise_variance)
+
+    def test_subset_approximation_tracks_exact_predictions(self):
+        """A capped inducing set stays a usable approximation."""
+        x, y = self._data(120, noisy=False)
+        exact = GaussianProcess(restarts=0).fit(x, y, optimize_hypers=False)
+        sparse = SparseGaussianProcess(restarts=0, max_inducing=48).fit(
+            x, y, optimize_hypers=False
+        )
+        x_star = np.random.default_rng(9).random((30, 3))
+        mean_e, _ = exact.predict(x_star)
+        mean_s, _ = sparse.predict(x_star)
+        assert np.corrcoef(mean_e, mean_s)[0, 1] > 0.98
+
+    def test_extend_matches_from_scratch_fit(self):
+        """Appending (no re-selection) equals a full fit at the same set."""
+        x, y = self._data(80, seed=3)
+        sparse = SparseGaussianProcess(
+            restarts=0, max_inducing=24, reselect_growth=10.0
+        ).fit(x[:64], y[:64], optimize_hypers=False)
+        for i in range(64, 80):
+            sparse.extend(x[i : i + 1], y[i : i + 1])
+        assert sparse.reselections == 0
+        assert sparse.num_observations == 80
+        x_star = np.random.default_rng(4).random((10, 3))
+        mean_inc, var_inc = sparse.predict(x_star)
+        lml_inc = sparse.log_marginal_likelihood()
+        # Re-factor the whole projected system from scratch at the same
+        # inducing set — the incrementally maintained posterior must match
+        # to numerical precision.
+        sparse._rebuild()
+        mean_rb, var_rb = sparse.predict(x_star)
+        assert np.allclose(mean_inc, mean_rb, atol=1e-8)
+        assert np.allclose(var_inc, var_rb, atol=1e-8)
+        assert lml_inc == pytest.approx(sparse.log_marginal_likelihood(), abs=1e-6)
+
+    def test_extend_reselects_past_growth_mark(self):
+        x, y = self._data(120, seed=5)
+        sparse = SparseGaussianProcess(
+            restarts=0, max_inducing=16, reselect_growth=1.25
+        ).fit(x[:40], y[:40], optimize_hypers=False)
+        sparse.extend(x[40:120], y[40:120])  # 3x growth: well past the mark
+        assert sparse.reselections == 1
+        assert sparse.num_observations == 120
+        # The re-selected inducing set spans the whole history, not just
+        # the 40-point prefix.
+        assert int(np.max(sparse._idx)) >= 40
+
+    def test_extend_grows_inducing_set_below_cap(self):
+        """Below max_inducing the inducing set tracks the data exactly."""
+        x, y = self._data(30, seed=6)
+        sparse = SparseGaussianProcess(restarts=0, max_inducing=64).fit(
+            x[:20], y[:20], optimize_hypers=False
+        )
+        assert sparse.num_inducing == 20
+        sparse.extend(x[20:], y[20:])
+        assert sparse.num_inducing == 30
+        exact = GaussianProcess(restarts=0)
+        exact.kernel = make_kernel("matern52", 3)
+        exact.kernel.set_log_params(sparse.kernel.get_log_params())
+        exact.noise_variance = sparse.noise_variance
+        exact.fit(x, y, optimize_hypers=False)
+        x_star = np.random.default_rng(7).random((6, 3))
+        assert np.allclose(
+            sparse.predict(x_star)[0], exact.predict(x_star)[0], atol=1e-6
+        )
+
+    def test_validation_and_error_paths(self):
+        with pytest.raises(GPFitError):
+            SparseGaussianProcess().predict(np.zeros((1, 2)))
+        with pytest.raises(GPFitError):
+            SparseGaussianProcess().log_marginal_likelihood()
+        with pytest.raises(GPFitError):
+            SparseGaussianProcess().extend(np.zeros((1, 2)), np.zeros(1))
+        with pytest.raises(ValueError):
+            SparseGaussianProcess(max_inducing=0)
+        with pytest.raises(ValueError):
+            SparseGaussianProcess(reselect_growth=1.0)
+        gp = SparseGaussianProcess(restarts=0).fit(
+            np.zeros((3, 2)), np.arange(3.0), optimize_hypers=False
+        )
+        with pytest.raises(ValueError):
+            gp.extend(np.zeros((2, 2)), np.zeros(3))
+        with pytest.raises(ValueError):
+            gp.extend(np.zeros((1, 4)), np.zeros(1))
+        with pytest.raises(GPFitError):
+            gp.fit(np.array([[np.nan, 0.0]]), np.zeros(1))
+
+    def test_constant_targets_handled(self):
+        x = np.random.default_rng(0).random((12, 2))
+        y = np.full(12, 3.0)
+        sparse = SparseGaussianProcess(restarts=1, max_inducing=6).fit(x, y)
+        mean, _ = sparse.predict(np.array([[0.5, 0.5]]))
+        assert mean[0] == pytest.approx(3.0, abs=0.1)
+
+
+class TestSurrogateFactory:
+    def test_tier_policy(self):
+        factory = SurrogateFactory(
+            lambda: make_kernel("matern52", 3), sparse_threshold=32, max_inducing=16
+        )
+        assert factory.tier_for(31) == "exact"
+        assert factory.tier_for(32) == "sparse"
+        assert isinstance(factory.build(8), GaussianProcess)
+        sparse = factory.build(64)
+        assert isinstance(sparse, SparseGaussianProcess)
+        assert sparse.max_inducing == 16
+        assert factory.tier_of(factory.build(8)) == "exact"
+        assert factory.tier_of(sparse) == "sparse"
+
+    def test_threshold_none_never_sparse(self):
+        factory = SurrogateFactory(
+            lambda: make_kernel("matern52", 3), sparse_threshold=None
+        )
+        assert factory.tier_for(10**6) == "exact"
+        assert isinstance(factory.build(10**6), GaussianProcess)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SurrogateFactory(lambda: None, sparse_threshold=2)
+        with pytest.raises(ValueError):
+            SurrogateFactory(lambda: None, max_inducing=2)
 
 
 class TestAnalyticGradients:
