@@ -1,0 +1,260 @@
+"""P7 — tuning service: sessions/hour to matched quality, warm vs cold.
+
+Two generations of the multi-tenant :class:`~repro.core.service.TuningService`
+on the same fixed-capacity fleet (four shards, probe-duration multipliers
+1.0/1.25/0.8/1.5, four single-slot tenants per generation — two sessions
+each of ResNet-50 and VGG-16 at distinct seeds):
+
+- the *cold* generation tunes against an empty
+  :class:`~repro.core.transfer.HistoryRepository`, recording its finished
+  sessions into it;
+- the *warm* generation tunes the same workloads at fresh seeds, each
+  tenant fingerprint-matched to the recorded sessions and started from a
+  transfer prior (:class:`~repro.core.gp.PriorMeanGP`).
+
+Matched quality is an arm-independent bar per workload — 80% of the
+noise-free optimum (:func:`~repro.harness.estimate_optimum`) — and every
+session stops at the bar (:class:`~repro.core.stopping.TargetRule`).  A
+tenant's completion time is the virtual time its incumbent first reaches
+the bar (``wall_clock_to_reach``; the full session wall when it never
+does), a generation's makespan is the latest such completion, and
+sessions/hour is tenants over makespan.  ``warm_vs_cold`` — the ratio CI
+gates at >= 1.3 — is warm sessions/hour over cold sessions/hour: how
+much more tenant traffic the same fleet capacity sustains because the
+repository makes each session reach the quality bar sooner.
+
+Everything is simulated time, so the numbers are deterministic per seed —
+independent of runner hardware.  Run as a script to (re)generate the
+committed baseline::
+
+    PYTHONPATH=src python benchmarks/bench_p7_service.py --output BENCH_P7.json
+    PYTHONPATH=src python benchmarks/bench_p7_service.py --quick   # CI smoke
+
+``scripts/bench_report.py`` renders the JSON and gates CI on regressions.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone `python benchmarks/bench_p7_service.py`
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
+    )
+
+import numpy as np
+
+from repro.cluster import homogeneous
+from repro.configspace import ml_config_space
+from repro.core import MLConfigTuner, TuningBudget
+from repro.core.service import TenantSpec, TuningService, training_shard_templates
+from repro.core.stopping import StoppedStrategy, TargetRule
+from repro.core.transfer import HistoryRepository
+from repro.harness import estimate_optimum
+from repro.mlsim import TrainingEnvironment
+from repro.workloads import get_workload
+
+SCHEMA = "bench_p7_service/v1"
+NODES = 16
+MAX_TRIALS = 40
+WORKLOADS = ("resnet50-imagenet", "vgg16-imagenet")
+SESSIONS_PER_WORKLOAD = 2
+SHARD_MULTIPLIERS = (1.0, 1.25, 0.8, 1.5)
+BAR_FRACTION = 0.8
+
+_bars = None
+
+
+def quality_bars():
+    """Per-workload quality bar: BAR_FRACTION of the noise-free optimum."""
+    global _bars
+    if _bars is None:
+        space = ml_config_space(NODES)
+        _bars = {}
+        for name in WORKLOADS:
+            env = TrainingEnvironment(get_workload(name), homogeneous(NODES), seed=0)
+            _, optimum = estimate_optimum(env, space, seed=0)
+            _bars[name] = BAR_FRACTION * optimum
+    return _bars
+
+
+def _run_generation(repository, generation, seed0):
+    """One service drain: SESSIONS_PER_WORKLOAD tenants per workload."""
+    bars = quality_bars()
+    service = TuningService(
+        training_shard_templates(nodes=NODES, cost_multipliers=SHARD_MULTIPLIERS),
+        ml_config_space(NODES),
+        repository=repository,
+    )
+    handles = []
+    index = 0
+    for rep in range(SESSIONS_PER_WORKLOAD):
+        for name in WORKLOADS:
+            seed = seed0 + index
+            index += 1
+            handles.append(
+                (
+                    name,
+                    service.submit(
+                        TenantSpec(
+                            name=f"{generation}-{name}-{rep}",
+                            strategy_factory=lambda seed=seed, name=name: (
+                                StoppedStrategy(
+                                    MLConfigTuner(seed=seed),
+                                    [TargetRule(bars[name])],
+                                )
+                            ),
+                            budget=TuningBudget(max_trials=MAX_TRIALS),
+                            seed=seed,
+                            slots=1,
+                            workload=get_workload(name),
+                        )
+                    ),
+                )
+            )
+    service.run()
+    return handles
+
+
+def _completion_times(handles):
+    """Virtual time each tenant first reaches its workload's quality bar.
+
+    A session that never attains the bar within its trial budget counts
+    at its full session wall — conservative, never dropped.
+    """
+    bars = quality_bars()
+    times = []
+    for name, handle in handles:
+        reach = handle.result.history.wall_clock_to_reach(bars[name])
+        if reach is None:
+            reach = handle.result.total_wall_clock_s
+        times.append(handle.started_at + reach)
+    return times
+
+
+def run_pair(seed):
+    """Cold vs warm service generation at one seed; returns the result cell."""
+    path = os.path.join(
+        tempfile.mkdtemp(prefix=f"bench-p7-seed{seed}-"), "history.jsonl"
+    )
+    cold = _run_generation(HistoryRepository(path), "cold", seed0=seed * 100 + 1)
+    warm = _run_generation(HistoryRepository(path), "warm", seed0=seed * 100 + 51)
+
+    cold_times = _completion_times(cold)
+    warm_times = _completion_times(warm)
+    cold_sph = len(cold) / (max(cold_times) / 3600.0)
+    warm_sph = len(warm) / (max(warm_times) / 3600.0)
+    return {
+        "cold_sessions_per_hour": cold_sph,
+        "warm_sessions_per_hour": warm_sph,
+        "warm_vs_cold": warm_sph / cold_sph,
+        "cold_makespan_h": max(cold_times) / 3600.0,
+        "warm_makespan_h": max(warm_times) / 3600.0,
+        "cold_mean_reach_h": float(np.mean(cold_times)) / 3600.0,
+        "warm_mean_reach_h": float(np.mean(warm_times)) / 3600.0,
+        "warm_mapped_tenants": sum(1 for _, h in warm if h.warm),
+        "tenants_per_generation": len(cold),
+        "cold_machine_h": sum(h.result.total_cost_s for _, h in cold) / 3600.0,
+        "warm_machine_h": sum(h.result.total_cost_s for _, h in warm) / 3600.0,
+    }
+
+
+def run_suite(quick=False):
+    """Measure each seed pair and return the BENCH_P7 payload.
+
+    Quick cells are byte-identical to the full run's same-seed cells
+    (simulated time is deterministic), which is what lets CI gate a quick
+    run against the committed full baseline.
+    """
+    seeds = (0,) if quick else (0, 1, 2)
+    bars = quality_bars()
+    results = {
+        "schema": SCHEMA,
+        "quick": bool(quick),
+        "config": {
+            "nodes": NODES,
+            "max_trials": MAX_TRIALS,
+            "tenants_per_generation": len(WORKLOADS) * SESSIONS_PER_WORKLOAD,
+            "fleet_shards": len(SHARD_MULTIPLIERS),
+            "bar_pct": int(BAR_FRACTION * 100),
+        },
+        "service": {},
+    }
+    for name in WORKLOADS:
+        results["config"][f"{name.split('-')[0]}_bar"] = round(bars[name], 1)
+    ratios = []
+    for seed in seeds:
+        cell = run_pair(seed)
+        results["service"][f"seed={seed}"] = cell
+        ratios.append(cell["warm_vs_cold"])
+        print(
+            f"seed={seed}: cold {cell['cold_sessions_per_hour']:.2f} sessions/h  "
+            f"warm {cell['warm_sessions_per_hour']:.2f} sessions/h  "
+            f"warm_vs_cold x{cell['warm_vs_cold']:.2f}  "
+            f"({cell['warm_mapped_tenants']}/{cell['tenants_per_generation']} "
+            f"tenants warm)"
+        )
+    results["service"]["sessions_per_hour"] = {
+        "warm_vs_cold": float(np.mean(ratios)),
+        "warm_vs_cold_min": float(np.min(ratios)),
+    }
+    print(
+        f"aggregate over {len(seeds)} seed(s): warm_vs_cold x{np.mean(ratios):.2f} "
+        f"(min x{np.min(ratios):.2f})"
+    )
+    return results
+
+
+def bench_p7_service(benchmark):
+    """pytest-benchmark entry: time one fair-share allocation decision."""
+    from repro.core.service import TenantHandle
+
+    service = TuningService(
+        training_shard_templates(nodes=NODES, cost_multipliers=SHARD_MULTIPLIERS),
+        ml_config_space(NODES),
+    )
+    handles = [
+        TenantHandle(
+            TenantSpec(
+                name=f"t{i}",
+                strategy_factory=MLConfigTuner,
+                budget=TuningBudget(max_trials=4),
+                slots=1,
+                max_slots=4,
+                weight=float(i + 1),
+            ),
+            order=i,
+        )
+        for i in range(3)
+    ]
+    allocation = benchmark(lambda: service._allocation(handles))
+    assert sum(allocation.values()) <= service.total_capacity
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="seed-0 pair only (CI smoke; cell identical to the full run's)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="write the results JSON here (default: print only)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_suite(quick=args.quick)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

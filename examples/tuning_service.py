@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Tuning-as-a-service: two tenants sharing one heterogeneous fleet.
+
+Runs the multi-tenant :class:`~repro.core.service.TuningService` twice
+over a 4-shard fleet with mixed probe speeds:
+
+1. a *cold* generation — two tenants (ResNet-50 and VGG-16) tune
+   concurrently against an empty history repository, and their finished
+   sessions are recorded into it;
+2. a *warm* generation — two new tenants for the same workloads arrive,
+   are fingerprint-matched to the recorded sessions, and start their
+   surrogates from transfer priors instead of from flat.
+
+The printout compares the two generations: trials and simulated wall
+clock per tenant, plus service-level sessions/hour — the headline metric
+``benchmarks/bench_p7_service.py`` gates in CI.
+
+Run:  python examples/tuning_service.py
+"""
+
+import os
+import tempfile
+
+from repro.configspace import ml_config_space
+from repro.core import MLConfigTuner, TuningBudget
+from repro.core.service import TenantSpec, TuningService, training_shard_templates
+from repro.core.transfer import HistoryRepository
+from repro.workloads import get_workload
+
+NODES = 16
+FLEET_MULTIPLIERS = (1.0, 1.25, 0.8, 1.5)  # mixed probe speeds, 1 slot each
+
+
+def make_service(repository):
+    return TuningService(
+        training_shard_templates(nodes=NODES, cost_multipliers=FLEET_MULTIPLIERS),
+        ml_config_space(NODES),
+        repository=repository,
+    )
+
+
+def submit_tenants(service, generation, seed0):
+    handles = []
+    for index, name in enumerate(("resnet50-imagenet", "vgg16-imagenet")):
+        seed = seed0 + index
+        handles.append(
+            service.submit(
+                TenantSpec(
+                    name=f"{generation}-{name}",
+                    strategy_factory=lambda seed=seed: MLConfigTuner(seed=seed),
+                    budget=TuningBudget(max_trials=16),
+                    seed=seed,
+                    slots=2,
+                    workload=get_workload(name),
+                )
+            )
+        )
+    return handles
+
+
+def report(label, result):
+    print(f"{label}:")
+    for handle in result.tenants:
+        start = (
+            f"warm from {handle.mapped_from!r}" if handle.warm else "cold start"
+        )
+        print(f"  {handle.spec.name:>24} : "
+              f"{handle.result.best_objective:7.1f} samples/s best, "
+              f"{handle.result.num_trials} trials, "
+              f"{handle.result.total_wall_clock_s / 3600:.2f} h wall ({start})")
+    print(f"  {'service':>24} : {result.makespan_s / 3600:.2f} h makespan, "
+          f"{result.sessions_per_hour():.2f} sessions/hour\n")
+
+
+def main() -> None:
+    path = os.path.join(tempfile.mkdtemp(prefix="repro-service-"), "history.jsonl")
+    print(f"History repository: {path}")
+    print(f"Fleet: {len(FLEET_MULTIPLIERS)} shards, probe-duration multipliers "
+          f"{FLEET_MULTIPLIERS}\n")
+
+    cold_service = make_service(HistoryRepository(path))
+    submit_tenants(cold_service, "cold", seed0=1)
+    cold = cold_service.run()
+    report("Generation 1 (empty repository)", cold)
+
+    warm_service = make_service(HistoryRepository(path))
+    submit_tenants(warm_service, "warm", seed0=11)
+    warm = warm_service.run()
+    report("Generation 2 (warm-started from generation 1)", warm)
+
+    speedup = warm.sessions_per_hour() / cold.sessions_per_hour()
+    print(f"Warm vs cold service throughput: {speedup:.2f}x sessions/hour")
+
+
+if __name__ == "__main__":
+    main()

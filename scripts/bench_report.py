@@ -68,6 +68,7 @@ PREFERRED_SECTION_ORDER = (
     "harness",
     "cache",
     "fleet",
+    "service",
 )
 _META_KEYS = {"schema", "quick", "config"}
 
@@ -146,15 +147,25 @@ def cmd_check(args):
     for metric in args.metric:
         try:
             now = _lookup(current, metric)
-            base = _lookup(baseline, metric) if ratio_mode else None
         except KeyError as exc:
             # A missing gated metric is a stale benchmark file, not a code
-            # regression — name the metric instead of dumping a traceback,
-            # and exit with the usage status so CI logs read unambiguously.
+            # regression — name the metric AND the offending file instead of
+            # dumping a traceback, and exit with the usage status so CI logs
+            # read unambiguously.
             print(f"check: {exc.args[0]}")
             print(
-                "check: the benchmark JSON does not carry this metric — "
-                "regenerate it with the current benchmark script"
+                f"check: current file {args.current!r} does not carry this "
+                "metric — regenerate it with the current benchmark script"
+            )
+            return 2
+        try:
+            base = _lookup(baseline, metric) if ratio_mode else None
+        except KeyError as exc:
+            print(f"check: {exc.args[0]}")
+            print(
+                f"check: baseline file {args.baseline!r} does not carry this "
+                "metric — regenerate the committed baseline with the current "
+                "benchmark script"
             )
             return 2
         if ratio_mode:

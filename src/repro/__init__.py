@@ -81,13 +81,16 @@ from repro.core import (
     AsyncExecutor,
     EnvironmentPool,
     EnvironmentShard,
+    HistoryRepository,
     MLConfigTuner,
     ParallelExecutor,
     SearchStrategy,
     SerialExecutor,
+    TenantSpec,
     TrialHistory,
     TuningBudget,
     TuningResult,
+    TuningService,
     TuningSession,
 )
 from repro.mlsim import TrainingConfig, TrainingEnvironment
@@ -98,15 +101,18 @@ __all__ = [
     "AsyncExecutor",
     "EnvironmentPool",
     "EnvironmentShard",
+    "HistoryRepository",
     "MLConfigTuner",
     "ParallelExecutor",
     "SearchStrategy",
     "SerialExecutor",
+    "TenantSpec",
     "TrainingConfig",
     "TrainingEnvironment",
     "TrialHistory",
     "TuningBudget",
     "TuningResult",
+    "TuningService",
     "TuningSession",
     "__version__",
 ]

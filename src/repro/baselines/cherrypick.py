@@ -35,6 +35,7 @@ class CherryPick(SearchStrategy):
         fit_workers: int = 1,
         sparse_threshold: Optional[int] = 512,
         max_inducing: int = 256,
+        prior_mean=None,
         seed: int = 0,
     ) -> None:
         if not 0.0 <= ei_stop_fraction < 1.0:
@@ -48,6 +49,7 @@ class CherryPick(SearchStrategy):
         self.fit_workers = fit_workers
         self.sparse_threshold = sparse_threshold
         self.max_inducing = max_inducing
+        self.prior_mean = prior_mean
         self.seed = seed
         self._proposer: Optional[BayesianProposer] = None
         self._stopped = False
@@ -66,6 +68,7 @@ class CherryPick(SearchStrategy):
                 fit_workers=self.fit_workers,
                 sparse_threshold=self.sparse_threshold,
                 max_inducing=self.max_inducing,
+                prior_mean=self.prior_mean,
                 seed=self.seed,
             )
         return self._proposer

@@ -13,57 +13,31 @@ workload's observations.  The adaptation here:
    target's observed range) as extra GP training data with inflated noise.
 
 The warm-start ablation (A3) compares this against cold-start BO.
+
+The repository/landmark/mapping machinery itself lives in
+:mod:`repro.core.transfer` (the tuning service reuses it for persistent
+cross-session warm starts); this module is the strategy-shaped shim over
+it, behaviour-identical to when the code lived here.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 import numpy as np
 
 from repro.configspace import ConfigDict, ConfigSpace
 from repro.core.bo import BayesianProposer
-from repro.core.gp import GaussianProcess, GPFitError
-from repro.core.kernels import make_kernel
+from repro.core.transfer import (
+    WorkloadRepository,
+    augment_history,
+    landmark_set,
+    map_workload,
+)
 from repro.core.strategy import SearchStrategy
 from repro.core.trial import TrialHistory
 
-
-class WorkloadRepository:
-    """Past tuning observations, keyed by workload name.
-
-    Observations are stored with objectives normalised to zero mean / unit
-    variance per workload, so cross-workload comparison is scale-free.
-    """
-
-    def __init__(self) -> None:
-        self._data: Dict[str, List[Tuple[ConfigDict, float]]] = {}
-
-    def add_session(
-        self, workload_name: str, observations: Sequence[Tuple[ConfigDict, float]]
-    ) -> None:
-        """Store a finished tuning session's (config, objective) pairs."""
-        if len(observations) < 2:
-            raise ValueError("need at least 2 observations to normalise")
-        values = np.array([obj for _, obj in observations], dtype=float)
-        mean, std = float(values.mean()), float(values.std())
-        if std <= 0:
-            std = 1.0
-        normalised = [
-            (dict(config), (obj - mean) / std) for config, obj in observations
-        ]
-        self._data.setdefault(workload_name, []).extend(normalised)
-
-    def workloads(self) -> List[str]:
-        """Names of workloads with stored sessions."""
-        return sorted(self._data)
-
-    def observations(self, workload_name: str) -> List[Tuple[ConfigDict, float]]:
-        """Stored (config, normalised objective) pairs for a workload."""
-        return list(self._data.get(workload_name, []))
-
-    def __len__(self) -> int:
-        return len(self._data)
+__all__ = ["OtterTuneStyle", "WorkloadRepository"]
 
 
 class OtterTuneStyle(SearchStrategy):
@@ -100,41 +74,16 @@ class OtterTuneStyle(SearchStrategy):
 
     def _landmark_set(self, space: ConfigSpace) -> List[ConfigDict]:
         if self._landmarks is None:
-            rng = np.random.default_rng(self.seed + 101)
-            self._landmarks = space.latin_hypercube(rng, self.n_landmarks)
+            self._landmarks = landmark_set(space, self.n_landmarks, self.seed)
         return self._landmarks
 
     def _map_workload(self, history: TrialHistory, space: ConfigSpace) -> None:
         """Pick the repository workload whose landmark responses match."""
         if self.mapped_workload is not None or not len(self.repository):
             return
-        landmark_trials = [t for t in history.trials[: self.n_landmarks] if t.ok]
-        if len(landmark_trials) < 2:
-            return
-        target = np.array([t.objective for t in landmark_trials])
-        target = (target - target.mean()) / (target.std() if target.std() > 0 else 1.0)
-        target_x = [space.encode(t.config) for t in landmark_trials]
-
-        best_name, best_dist = None, np.inf
-        for name in self.repository.workloads():
-            observations = self.repository.observations(name)
-            if len(observations) < 3:
-                continue
-            # Predict the prior workload's (normalised) response at the
-            # landmark configs with a quick GP, then compare shapes.
-            x = np.array([space.encode(c) for c, _ in observations])
-            y = np.array([v for _, v in observations])
-            try:
-                surrogate = GaussianProcess(
-                    kernel=make_kernel("matern52", space.dims), seed=self.seed
-                ).fit(x, y, optimize_hypers=False)
-                mu, _ = surrogate.predict(np.array(target_x))
-            except GPFitError:
-                continue
-            dist = float(np.linalg.norm(mu - target))
-            if dist < best_dist:
-                best_name, best_dist = name, dist
-        self.mapped_workload = best_name
+        self.mapped_workload = map_workload(
+            self.repository, history, space, self.n_landmarks, self.seed
+        )
 
     # -- proposals ---------------------------------------------------------
 
@@ -159,31 +108,4 @@ class OtterTuneStyle(SearchStrategy):
         self, history: TrialHistory, space: ConfigSpace
     ) -> TrialHistory:
         """History + rescaled observations from the mapped workload."""
-        if self.mapped_workload is None:
-            return history
-        successes = history.successful()
-        if len(successes) < 2:
-            return history
-        values = np.array([t.objective for t in successes])
-        mean, std = float(values.mean()), float(values.std())
-        if std <= 0:
-            std = abs(mean) * 0.1 + 1.0
-
-        from repro.mlsim import Measurement
-        from repro.mlsim.config import TrainingConfig
-
-        augmented = TrialHistory()
-        for trial in history.trials:
-            augmented.record(trial.config, trial.measurement)
-        for config, norm_obj in self.repository.observations(self.mapped_workload):
-            if not space.is_valid(config):
-                continue
-            synthetic = Measurement(
-                config=TrainingConfig.from_dict(config),
-                ok=True,
-                fidelity="transfer",
-                objective=mean + norm_obj * std,
-                probe_cost_s=0.0,  # historical data costs nothing now
-            )
-            augmented.record(config, synthetic)
-        return augmented
+        return augment_history(history, space, self.repository, self.mapped_workload)

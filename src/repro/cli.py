@@ -9,6 +9,9 @@ Commands
 ``tune --workload W --nodes N --trials T [...]``
     Run the BO tuner (or a baseline) on a simulated cluster and print the
     best configuration found.
+``serve --workloads W1,W2 [...]``
+    Run one tenant tuning session per workload, multiplexed over a shared
+    simulated fleet, with optional persistent warm-start history.
 ``experiment --id T3 [...]``
     Regenerate one of the evaluation tables/figures by id.
 """
@@ -122,6 +125,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trial-log", default=None, metavar="PATH",
         help="write every trial as a JSON line to PATH",
     )
+
+    serve = sub.add_parser(
+        "serve", help="run a multi-tenant tuning service over one shared fleet"
+    )
+    serve.add_argument(
+        "--workloads", default="resnet50-imagenet,vgg16-imagenet", metavar="W1,W2,...",
+        help="comma-separated workload names, one tenant session per entry "
+        "(repeats allowed)",
+    )
+    serve.add_argument("--nodes", type=int, default=16)
+    serve.add_argument("--trials", type=int, default=20,
+                       help="max trials per tenant session")
+    serve.add_argument("--strategy", default="bo", choices=sorted(STRATEGIES))
+    serve.add_argument(
+        "--slots", type=int, default=1,
+        help="guaranteed probe slots per tenant (admission reserves them)",
+    )
+    serve.add_argument(
+        "--max-slots", type=int, default=None, metavar="N",
+        help="elastic per-tenant ceiling for idle-slot reclaim "
+        "(default: pinned at --slots)",
+    )
+    serve.add_argument(
+        "--fleet", default="1.0,1.25,0.8,1.5", metavar="M1,M2,...",
+        help="fleet shape: comma-separated probe-duration multipliers, one "
+        "single-slot shard each",
+    )
+    serve.add_argument(
+        "--history", default=None, metavar="PATH",
+        help="persistent history repository (JSONL); completed sessions are "
+        "recorded and new tenants warm-start from their nearest prior workload",
+    )
+    serve.add_argument(
+        "--no-warm-start", action="store_true",
+        help="keep recording to --history but start every tenant cold",
+    )
+    serve.add_argument("--seed", type=int, default=0)
 
     experiment = sub.add_parser("experiment", help="regenerate an evaluation artefact")
     experiment.add_argument("--id", required=True, help="experiment id, e.g. T3 or F2")
@@ -330,6 +370,109 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.service import (
+        AdmissionError,
+        TenantSpec,
+        TuningService,
+        training_shard_templates,
+    )
+    from repro.core.transfer import HistoryRepository
+
+    if args.trials < 1:
+        print("--trials must be >= 1", file=sys.stderr)
+        return 2
+    if args.slots < 1:
+        print("--slots must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_slots is not None and args.max_slots < args.slots:
+        print("--max-slots must be >= --slots", file=sys.stderr)
+        return 2
+    names = [name.strip() for name in args.workloads.split(",") if name.strip()]
+    if not names:
+        print("--workloads must name at least one workload", file=sys.stderr)
+        return 2
+    unknown = sorted(set(names) - set(SUITE))
+    if unknown:
+        print(
+            f"--workloads: unknown {unknown}; available: {sorted(SUITE)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        multipliers = [float(part) for part in args.fleet.split(",") if part.strip()]
+    except ValueError:
+        print(f"--fleet: not a comma-separated float list: {args.fleet!r}",
+              file=sys.stderr)
+        return 2
+    if not multipliers or any(m <= 0 for m in multipliers):
+        print("--fleet multipliers must be positive", file=sys.stderr)
+        return 2
+    if args.history:
+        history_dir = os.path.dirname(os.path.abspath(args.history))
+        if not os.path.isdir(history_dir):
+            print(f"--history: directory {history_dir!r} does not exist",
+                  file=sys.stderr)
+            return 2
+
+    repository = HistoryRepository(args.history) if args.history else None
+    service = TuningService(
+        training_shard_templates(nodes=args.nodes, cost_multipliers=multipliers),
+        ml_config_space(args.nodes),
+        repository=repository,
+        warm_start=not args.no_warm_start,
+    )
+    try:
+        for index, name in enumerate(names):
+            seed = args.seed + index
+            service.submit(
+                TenantSpec(
+                    name=f"tenant{index}-{name}",
+                    strategy_factory=(
+                        lambda seed=seed: STRATEGIES[args.strategy](seed)
+                    ),
+                    budget=TuningBudget(max_trials=args.trials),
+                    seed=seed,
+                    slots=args.slots,
+                    max_slots=args.max_slots,
+                    workload=get_workload(name),
+                )
+            )
+    except AdmissionError as exc:
+        print(f"admission: {exc}", file=sys.stderr)
+        return 2
+    result = service.run()
+
+    print(f"fleet    : {len(multipliers)} shards ({service.total_capacity} slots), "
+          f"{args.nodes} nodes each")
+    if repository is not None:
+        print(f"history  : {args.history} ({len(repository)} stored sessions)")
+    for handle in result.tenants:
+        spec = handle.spec
+        if handle.state == "failed":
+            print(f"  {spec.name:>28} : FAILED ({handle.error})")
+            continue
+        tenant_result = handle.result
+        start = ("warm from " + handle.mapped_from) if handle.warm else "cold start"
+        best = (
+            f"{tenant_result.best_objective:.1f} samples/s"
+            if tenant_result.best_trial is not None
+            else "all probes failed"
+        )
+        print(f"  {spec.name:>28} : {best}, "
+              f"{tenant_result.num_trials} trials, "
+              f"{tenant_result.total_wall_clock_s / 3600:.2f} h wall ({start})")
+    print(f"makespan : {result.makespan_s / 3600:.2f} simulated hours "
+          f"({result.sessions_per_hour():.2f} sessions/hour)")
+    cost_by_shard = service.cost_by_shard()
+    total_cost = service.total_cost_s()
+    print(f"cost     : {total_cost / 3600:.2f} machine-hours across "
+          f"{len(cost_by_shard)} shards")
+    if result.failed:
+        return 1
+    return 0
+
+
 def _cmd_experiment(exp_id: str) -> int:
     from repro.harness.experiments import ALL_EXPERIMENTS
 
@@ -357,6 +500,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_describe_space(args.nodes)
     if args.command == "tune":
         return _cmd_tune(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "experiment":
         return _cmd_experiment(args.id)
     raise AssertionError(f"unhandled command {args.command!r}")

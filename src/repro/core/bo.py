@@ -252,6 +252,16 @@ class BayesianProposer:
         ``max_inducing`` instead of the history size.
     max_inducing:
         Inducing-set cap for the sparse tier.
+    prior_mean:
+        Optional fixed predictor of the normalised objective surface (a
+        :class:`~repro.core.transfer.TransferPrior` built from a history
+        repository's nearest prior workload).  The *objective* surrogate
+        is then built as a :class:`~repro.core.gp.PriorMeanGP` — a
+        residual GP whose posterior mean starts from the prior surface
+        instead of from flat — which is the cross-session warm-start
+        path.  The cost surrogate is never prior-wrapped.  Must be set
+        before the first proposal (the surrogate factory is built lazily
+        and cached).
     """
 
     def __init__(
@@ -272,6 +282,7 @@ class BayesianProposer:
         fit_workers: int = 1,
         sparse_threshold: Optional[int] = 512,
         max_inducing: int = 256,
+        prior_mean=None,
         seed: int = 0,
     ) -> None:
         if n_initial < 2:
@@ -308,6 +319,7 @@ class BayesianProposer:
         self.fit_workers = fit_workers
         self.sparse_threshold = sparse_threshold
         self.max_inducing = max_inducing
+        self.prior_mean = prior_mean
         self.seed = seed
         self._factories: dict = {}
         self._initial_design: Optional[List[ConfigDict]] = None
@@ -321,13 +333,16 @@ class BayesianProposer:
         self._target_shard_weight: Optional[float] = None
         self.last_fit_diagnostics: dict = {}
 
-    def _surrogate_factory(self, dims: int, seed: int) -> SurrogateFactory:
+    def _surrogate_factory(
+        self, dims: int, seed: int, prior_mean=None
+    ) -> SurrogateFactory:
         """The (cached) tier factory for a ``dims``-dimensional surrogate.
 
         One factory per (dims, seed) pair: the objective surrogate uses
-        the space's dimension and the proposer's seed; the cost surrogate
-        uses ``seed + 1`` and one extra dimension when the shard cost
-        feature is on.
+        the space's dimension and the proposer's seed (and carries the
+        prior mean when one is installed); the cost surrogate uses
+        ``seed + 1``, never a prior, and one extra dimension when the
+        shard cost feature is on.
         """
         key = (dims, seed)
         factory = self._factories.get(key)
@@ -338,6 +353,7 @@ class BayesianProposer:
                 max_inducing=self.max_inducing,
                 seed=seed,
                 fit_workers=self.fit_workers,
+                prior_mean=prior_mean,
             )
             self._factories[key] = factory
         return factory
@@ -441,7 +457,9 @@ class BayesianProposer:
         surrogate = self._objective_cache.update(
             x,
             y,
-            factory=self._surrogate_factory(self.space.dims, self.seed),
+            factory=self._surrogate_factory(
+                self.space.dims, self.seed, prior_mean=self.prior_mean
+            ),
             optimize=refit_due,
             allow_extend=self.reuse_surrogate,
         )

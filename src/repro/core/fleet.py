@@ -262,6 +262,7 @@ class EnvironmentPool:
         self._by_name = {shard.name: shard for shard in shards}
         self._busy: Dict[str, int] = {name: 0 for name in names}
         self._rngs: Dict[str, np.random.Generator] = {}
+        self._lease_width: Optional[int] = None
         self.reset(seed=0)
 
     @classmethod
@@ -303,8 +304,47 @@ class EnvironmentPool:
         """Occupied slots on a shard."""
         return self._busy[name]
 
+    def total_busy(self) -> int:
+        """Occupied slots across the whole fleet."""
+        return sum(self._busy.values())
+
+    @property
+    def lease_width(self) -> Optional[int]:
+        """The fleet-wide concurrent-slot cap, or ``None`` (uncapped)."""
+        return self._lease_width
+
+    def set_lease(self, width: Optional[int]) -> None:
+        """Cap fleet-wide concurrency at ``width`` slots (``None`` lifts it).
+
+        The *lease* is how slot ownership moves from the executor to a
+        service: a :class:`~repro.core.service.TuningService` grants each
+        tenant's pool a lease equal to its fair-share allocation, and
+        :meth:`free_slots` then reports zero everywhere once the tenant's
+        total occupancy reaches the lease — schedulers return ``None``,
+        executors stop launching — however much raw shard capacity
+        remains.  Probes already in flight are unaffected by a shrinking
+        lease (they complete and release normally; new launches gate).
+        The lease is ownership state, not session state: :meth:`reset`
+        leaves it in place.
+        """
+        if width is not None:
+            width = int(width)
+            if width < 0:
+                raise ValueError("lease width must be >= 0 (or None)")
+        self._lease_width = width
+
     def free_slots(self, name: str) -> int:
-        return self._by_name[name].capacity - self._busy[name]
+        free = self._by_name[name].capacity - self._busy[name]
+        if self._lease_width is not None:
+            free = min(free, self._lease_width - self.total_busy())
+        return max(0, free)
+
+    def free_capacity(self) -> int:
+        """Free slots fleet-wide, respecting the lease."""
+        free = self.total_capacity - self.total_busy()
+        if self._lease_width is not None:
+            free = min(free, self._lease_width - self.total_busy())
+        return max(0, free)
 
     def acquire(self, name: str) -> None:
         """Occupy one slot on a shard — the commit point of a launch.

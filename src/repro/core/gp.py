@@ -872,6 +872,103 @@ class SparseGaussianProcess:
         return 0 if self._idx is None else int(self._idx.shape[0])
 
 
+class PriorMeanGP:
+    """Residual GP over a fixed prior-mean predictor (transfer warm start).
+
+    A GP's zero-mean assumption is what makes a cold start cold: until the
+    local data says otherwise, the posterior reverts to the standardised
+    target mean everywhere.  When a *prior* predictor of the response
+    surface exists — e.g. a :class:`~repro.core.transfer.TransferPrior`
+    fitted to a mapped workload's normalised observations — this wrapper
+    fits the inner GP to the **residuals** ``y - prior(x)`` and adds the
+    prior back at prediction time, so the posterior mean starts from the
+    prior surface instead of from flat and the acquisition surface is
+    informative from the first model-based proposal.
+
+    ``prior_mean`` maps encoded rows to *normalised* (zero-mean/unit-std)
+    responses; the wrapper rescales them to the target's units with the
+    mean/std of the ``y`` passed to :meth:`fit`, frozen for the lifetime
+    of the instance so :meth:`extend` stays numerically identical to a
+    from-scratch ``fit`` at the same hyperparameters (the surrogate cache
+    builds a fresh instance on every rebuild, which is where the scale
+    refreshes).  The prior itself must be a fixed deterministic function
+    for the whole session.
+
+    The delegated surface (``kernel``, settable ``noise_variance``,
+    ``fit``/``extend``/``predict``/``predict_mean``/
+    ``log_marginal_likelihood``/``num_observations``/``extend_fallbacks``)
+    matches both inner tiers, so the wrapper drops into
+    ``_SurrogateCache`` unchanged; :meth:`SurrogateFactory.tier_of`
+    unwraps it via the ``inner`` attribute.
+    """
+
+    def __init__(self, inner, prior_mean) -> None:
+        self.inner = inner
+        self.prior_mean = prior_mean
+        self._scale: Optional[Tuple[float, float]] = None
+
+    def _prior_units(self, x: np.ndarray) -> np.ndarray:
+        """The prior's prediction at ``x``, rescaled to target units."""
+        mean, std = self._scale
+        values = np.asarray(self.prior_mean(x), dtype=float).ravel()
+        return mean + std * values
+
+    def fit(self, x: np.ndarray, y: np.ndarray, optimize_hypers: bool = True) -> "PriorMeanGP":
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if y.size == 0:
+            raise GPFitError("fit() requires at least one observation")
+        mean = float(y.mean())
+        std = float(y.std())
+        if std <= 1e-12:
+            std = abs(mean) * 0.1 + 1.0
+        self._scale = (mean, std)
+        self.inner.fit(x, y - self._prior_units(x), optimize_hypers=optimize_hypers)
+        return self
+
+    def extend(self, x_new: np.ndarray, y_new: np.ndarray) -> "PriorMeanGP":
+        if self._scale is None:
+            raise GPFitError("extend() before fit()")
+        x_new = np.atleast_2d(np.asarray(x_new, dtype=float))
+        y_new = np.asarray(y_new, dtype=float).ravel()
+        self.inner.extend(x_new, y_new - self._prior_units(x_new))
+        return self
+
+    def predict(self, x_star: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        x_star = np.atleast_2d(np.asarray(x_star, dtype=float))
+        mu, var = self.inner.predict(x_star)
+        return mu + self._prior_units(x_star), var
+
+    def predict_mean(self, x_star: np.ndarray) -> np.ndarray:
+        x_star = np.atleast_2d(np.asarray(x_star, dtype=float))
+        mu = self.inner.predict_mean(x_star)
+        return mu + self._prior_units(x_star)
+
+    def log_marginal_likelihood(self) -> float:
+        """The inner (residual) GP's cached marginal likelihood."""
+        return self.inner.log_marginal_likelihood()
+
+    @property
+    def kernel(self):
+        return self.inner.kernel
+
+    @property
+    def noise_variance(self) -> float:
+        return self.inner.noise_variance
+
+    @noise_variance.setter
+    def noise_variance(self, value: float) -> None:
+        self.inner.noise_variance = value
+
+    @property
+    def num_observations(self) -> int:
+        return self.inner.num_observations
+
+    @property
+    def extend_fallbacks(self) -> int:
+        return self.inner.extend_fallbacks
+
+
 class SurrogateFactory:
     """Size-based exact↔sparse tier policy behind one ``build`` hook.
 
@@ -896,6 +993,13 @@ class SurrogateFactory:
         Inducing-set cap for the sparse tier.
     seed / fit_workers:
         Forwarded to both tiers' hyperparameter fits.
+    prior_mean:
+        Optional fixed predictor of the *normalised* response surface
+        (e.g. a :class:`~repro.core.transfer.TransferPrior`); every built
+        surrogate is then wrapped in :class:`PriorMeanGP`, which fits the
+        tier to residuals against the prior and adds it back at
+        prediction — the cross-session warm-start path.  ``None`` (the
+        default) builds bare tiers, bit-identical to the pre-prior code.
     """
 
     def __init__(
@@ -905,6 +1009,7 @@ class SurrogateFactory:
         max_inducing: int = 256,
         seed: int = 0,
         fit_workers: int = 1,
+        prior_mean=None,
     ) -> None:
         if sparse_threshold is not None and sparse_threshold < 4:
             raise ValueError("sparse_threshold must be >= 4 (or None)")
@@ -915,6 +1020,7 @@ class SurrogateFactory:
         self.max_inducing = max_inducing
         self.seed = seed
         self.fit_workers = fit_workers
+        self.prior_mean = prior_mean
 
     def tier_for(self, n: int) -> str:
         """``"exact"`` or ``"sparse"`` for an ``n``-row training set."""
@@ -924,20 +1030,29 @@ class SurrogateFactory:
 
     @staticmethod
     def tier_of(gp) -> str:
-        """The tier an already-built surrogate belongs to."""
-        return "sparse" if isinstance(gp, SparseGaussianProcess) else "exact"
+        """The tier an already-built surrogate belongs to.
+
+        A :class:`PriorMeanGP` wrapper belongs to its inner model's tier —
+        the prior changes the mean function, not the size policy.
+        """
+        inner = getattr(gp, "inner", gp)
+        return "sparse" if isinstance(inner, SparseGaussianProcess) else "exact"
 
     def build(self, n: int):
         """A fresh unfitted surrogate of the tier ``n`` rows call for."""
         if self.tier_for(n) == "sparse":
-            return SparseGaussianProcess(
+            gp = SparseGaussianProcess(
                 kernel=self.kernel_factory(),
                 seed=self.seed,
                 fit_workers=self.fit_workers,
                 max_inducing=self.max_inducing,
             )
-        return GaussianProcess(
-            kernel=self.kernel_factory(),
-            seed=self.seed,
-            fit_workers=self.fit_workers,
-        )
+        else:
+            gp = GaussianProcess(
+                kernel=self.kernel_factory(),
+                seed=self.seed,
+                fit_workers=self.fit_workers,
+            )
+        if self.prior_mean is not None:
+            return PriorMeanGP(gp, self.prior_mean)
+        return gp

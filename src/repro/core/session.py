@@ -390,6 +390,12 @@ class ParallelExecutor(Executor):
 
     def run_round(self, strategy, env, space, history, rng, budget, events):
         k = self.workers
+        if self.pool is not None and self.pool.lease_width is not None:
+            # Under a service lease the round width is the leased free
+            # capacity, not the raw slot count — a shrunken lease narrows
+            # the round (a zero-width lease skips it) instead of tripping
+            # the mid-assignment saturation error below.
+            k = min(k, self.pool.free_capacity())
         if budget.max_trials is not None:
             k = min(k, budget.max_trials - len(history))
         if k < 1:
@@ -798,6 +804,19 @@ class TuningSession:
 
         TuningSession(tuner, executor=ParallelExecutor(4),
                       callbacks=[ProgressLogger()]).run(env, space, budget)
+
+    A session is also a *schedulable unit*: :meth:`start` initialises the
+    loop, each :meth:`step` runs exactly one executor round (returning
+    ``False`` once the session has nothing more to do), and
+    :meth:`finish` cancels stranded in-flight probes and produces the
+    :class:`~repro.core.strategy.TuningResult`.  :meth:`run` is exactly
+    ``start``; drain ``step``; ``finish`` — trial-for-trial identical to
+    the historical single-call loop — while a multi-tenant scheduler
+    (:class:`~repro.core.service.TuningService`) interleaves many
+    sessions by calling their ``step`` methods in its own order, pausing
+    each tenant between rounds at no extra cost.  All loop state (RNG,
+    history, executor free-list) lives on the session, so the
+    interleaving order cannot perturb any single session's stream.
     """
 
     def __init__(
@@ -809,15 +828,34 @@ class TuningSession:
         self.strategy = strategy
         self.executor = executor if executor is not None else SerialExecutor()
         self.callbacks = list(callbacks)
+        self._env: Optional[TrainingEnvironment] = None
+        self._env_like = None
+        self._space: Optional[ConfigSpace] = None
+        self._budget: Optional[TuningBudget] = None
+        self._rng: Optional[np.random.Generator] = None
+        self._history: Optional[TrialHistory] = None
+        self._events: Optional[_Events] = None
+        self._stalled = False
+        self._result: Optional[TuningResult] = None
 
-    def run(
+    @property
+    def history(self) -> Optional[TrialHistory]:
+        """The live trial history (``None`` before :meth:`start`)."""
+        return self._history
+
+    @property
+    def done(self) -> bool:
+        """True once :meth:`step` has nothing left to run."""
+        return self._result is not None or self._stalled
+
+    def start(
         self,
         env: Optional[TrainingEnvironment],
         space: ConfigSpace,
         budget: TuningBudget,
         seed: int = 0,
-    ) -> TuningResult:
-        """Execute the tuning session and return its result.
+    ) -> "TuningSession":
+        """Initialise the loop state; the first :meth:`step` may then run.
 
         ``env`` may be ``None`` when the executor carries an
         :class:`~repro.core.fleet.EnvironmentPool` — probes then dispatch
@@ -830,37 +868,92 @@ class TuningSession:
             raise ValueError(
                 "env may only be None when the executor probes an EnvironmentPool"
             )
-        env_like = env if pool is None else pool
-        rng = np.random.default_rng(seed)
-        history = TrialHistory()
-        events = _Events(self.callbacks)
+        self._env = env
+        self._env_like = env if pool is None else pool
+        self._space = space
+        self._budget = budget
+        self._rng = np.random.default_rng(seed)
+        self._history = TrialHistory()
+        self._events = _Events(self.callbacks)
+        self._stalled = False
+        self._result = None
         self.strategy.reset()
         self.executor.reset(seed)
-        events.session_start(self.strategy, env_like, space, budget)
-        while not budget.exhausted(history):
-            # A finished strategy launches nothing new, but probes already
-            # in flight drain to completion — their machine time is spent
-            # and their measurements exist.  Budget exhaustion, by
-            # contrast, cancels pending probes (the loop condition above).
-            if self.strategy.finished(history, space) and not (
-                self.executor.has_pending()
-            ):
-                break
-            trials = self.executor.run_round(
-                self.strategy, env, space, history, rng, budget, events
-            )
-            if not trials:
-                break
-            events.round_end(history.num_rounds - 1, trials, history)
+        self._events.session_start(self.strategy, self._env_like, space, budget)
+        return self
+
+    def step(self) -> bool:
+        """Run one executor round; ``False`` when the session is done.
+
+        A ``False`` return latches: the budget is exhausted, the strategy
+        finished with nothing in flight, or the executor produced no
+        trials (saturation/decline) — in every case the session has
+        nothing more to do and :meth:`finish` should be called.
+        """
+        if self._history is None:
+            raise RuntimeError("step() before start()")
+        if self.done:
+            return False
+        if self._budget.exhausted(self._history):
+            self._stalled = True
+            return False
+        # A finished strategy launches nothing new, but probes already
+        # in flight drain to completion — their machine time is spent
+        # and their measurements exist.  Budget exhaustion, by
+        # contrast, cancels pending probes (the check above).
+        if self.strategy.finished(self._history, self._space) and not (
+            self.executor.has_pending()
+        ):
+            self._stalled = True
+            return False
+        trials = self.executor.run_round(
+            self.strategy,
+            self._env,
+            self._space,
+            self._history,
+            self._rng,
+            self._budget,
+            self._events,
+        )
+        if not trials:
+            self._stalled = True
+            return False
+        self._events.round_end(self._history.num_rounds - 1, trials, self._history)
+        return True
+
+    def finish(self) -> TuningResult:
+        """Cancel stranded in-flight probes and seal the result.
+
+        Idempotent: the first call produces the result (and fires
+        ``on_session_end``); later calls return the same object.
+        """
+        if self._history is None:
+            raise RuntimeError("finish() before start()")
+        if self._result is not None:
+            return self._result
         if self.executor.has_pending():
             # Budget exhaustion is the only exit that strands in-flight
             # probes; bill the machine time they burned before the cut.
-            self.executor.cancel_pending(history)
+            self.executor.cancel_pending(self._history)
         result = TuningResult(
             strategy=self.strategy.name,
-            history=history,
-            best_trial=history.best(),
-            environment=env_like.describe(),
+            history=self._history,
+            best_trial=self._history.best(),
+            environment=self._env_like.describe(),
         )
-        events.session_end(result)
+        self._result = result
+        self._events.session_end(result)
         return result
+
+    def run(
+        self,
+        env: Optional[TrainingEnvironment],
+        space: ConfigSpace,
+        budget: TuningBudget,
+        seed: int = 0,
+    ) -> TuningResult:
+        """Execute the tuning session to completion and return its result."""
+        self.start(env, space, budget, seed)
+        while self.step():
+            pass
+        return self.finish()

@@ -90,6 +90,13 @@ class MLConfigTuner(SearchStrategy):
         :class:`~repro.core.gp.SurrogateFactory`).  ``sparse_threshold=None``
         keeps the exact tier at every size.  Surfaced on the CLI as
         ``--sparse-threshold`` / ``--max-inducing``.
+    prior_mean:
+        Optional fixed predictor of the normalised objective surface (a
+        :class:`~repro.core.transfer.TransferPrior`): the objective
+        surrogate then starts from the prior instead of from flat — the
+        repository warm-start path the :class:`~repro.core.service.TuningService`
+        installs before a tenant session starts.  Must be set before the
+        first proposal.
     n_candidates / kernel / xi / beta / seed:
         Forwarded to :class:`~repro.core.bo.BayesianProposer`.
     """
@@ -107,6 +114,7 @@ class MLConfigTuner(SearchStrategy):
         vectorized_candidates: bool = True,
         sparse_threshold: Optional[int] = 512,
         max_inducing: int = 256,
+        prior_mean=None,
         n_candidates: int = 512,
         kernel: str = "matern52",
         xi: float = 0.01,
@@ -133,6 +141,7 @@ class MLConfigTuner(SearchStrategy):
         self.vectorized_candidates = vectorized_candidates
         self.sparse_threshold = sparse_threshold
         self.max_inducing = max_inducing
+        self.prior_mean = prior_mean
         self.n_candidates = n_candidates
         self.kernel = kernel
         self.xi = xi
@@ -174,6 +183,7 @@ class MLConfigTuner(SearchStrategy):
                 vectorized_candidates=self.vectorized_candidates,
                 sparse_threshold=self.sparse_threshold,
                 max_inducing=self.max_inducing,
+                prior_mean=self.prior_mean,
                 seed=self.seed,
             )
         return self._proposer

@@ -40,6 +40,16 @@ class TestRender:
         assert "n=4096" in text
         assert text.index("## propose") < text.index("## large")
 
+    def test_service_section_renders_in_preferred_order(self, results):
+        results["service"] = {
+            "seed=0": {"warm_vs_cold": 4.05, "cold_sessions_per_hour": 2.27},
+            "sessions_per_hour": {"warm_vs_cold": 2.93},
+        }
+        assert "service" in bench_report.PREFERRED_SECTION_ORDER
+        text = bench_report.render(results)
+        assert "## service" in text
+        assert text.index("## large") < text.index("## service")
+
 
 class TestCheck:
     def test_ratio_gate_passes_and_fails(self, tmp_path, results, capsys):
@@ -96,3 +106,29 @@ class TestCheck:
         assert "large/n=1024/speedup" in captured
         assert "regenerate" in captured
         assert "Traceback" not in captured
+
+    def test_missing_metric_names_current_file(self, tmp_path, results, capsys):
+        stale = {k: v for k, v in results.items() if k != "large"}
+        current = _write(tmp_path, "cur.json", stale)
+        code = bench_report.main(
+            ["check", "--current", current,
+             "--metric", "large/n=1024/speedup", "--min-value", "1.0"]
+        )
+        captured = capsys.readouterr().out
+        assert code == 2
+        assert f"current file {current!r}" in captured
+        assert "baseline file" not in captured
+
+    def test_missing_metric_names_stale_baseline(self, tmp_path, results, capsys):
+        stale = {k: v for k, v in results.items() if k != "large"}
+        baseline = _write(tmp_path, "base.json", stale)
+        current = _write(tmp_path, "cur.json", results)
+        code = bench_report.main(
+            ["check", "--baseline", baseline, "--current", current,
+             "--metric", "large/n=1024/speedup", "--min-ratio", "0.5"]
+        )
+        captured = capsys.readouterr().out
+        assert code == 2
+        assert f"baseline file {baseline!r}" in captured
+        assert "committed baseline" in captured
+        assert "current file" not in captured
