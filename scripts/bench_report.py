@@ -69,6 +69,7 @@ PREFERRED_SECTION_ORDER = (
     "cache",
     "fleet",
     "service",
+    "drift",
 )
 _META_KEYS = {"schema", "quick", "config"}
 

@@ -77,6 +77,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fraction of nodes that are persistent stragglers",
     )
     tune.add_argument(
+        "--failure-rate", type=float, default=0.0, metavar="P",
+        help="probability in [0, 1) that any probe dies to a transient "
+        "failure (billed partial cost, recorded as a failed trial)",
+    )
+    tune.add_argument(
+        "--drift", default=None, metavar="SPEC",
+        help="non-stationary environment schedule: semicolon-separated "
+        "KIND:key=val,... terms with kinds step/ramp/periodic/stragglers, "
+        "e.g. 'stragglers:at=3600,fraction=0.25,slowdown=2.5;"
+        "step:at=3600,intensity=1.2'",
+    )
+    tune.add_argument(
+        "--outage", default=None, metavar="SPEC",
+        help="scheduled shard outages (requires --shards/--shard-spec): "
+        "semicolon-separated SHARD:START-END[,START-END...] windows in "
+        "simulated seconds, e.g. 'shard0:3600-5400;shard1:7200-7500'",
+    )
+    tune.add_argument(
+        "--detect-drift", action="store_true",
+        help="attach the online change-point detector (Page-Hinkley over "
+        "surrogate residuals) and re-tune on alarms",
+    )
+    tune.add_argument(
+        "--retune-mode", default="discount", choices=["evict", "discount", "off"],
+        help="what --detect-drift alarms do to pre-change history: drop it "
+        "from the surrogate ('evict'), keep it noise-inflated "
+        "('discount'), or record events only ('off')",
+    )
+    tune.add_argument(
         "--workers", type=int, default=1,
         help="configurations probed concurrently (1 = serial probing)",
     )
@@ -161,6 +190,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-warm-start", action="store_true",
         help="keep recording to --history but start every tenant cold",
     )
+    serve.add_argument(
+        "--failure-rate", type=float, default=0.0, metavar="P",
+        help="transient probe-failure probability in [0, 1) applied to "
+        "every tenant environment",
+    )
+    serve.add_argument(
+        "--detect-drift", action="store_true",
+        help="attach a per-tenant change-point detector that re-tunes on "
+        "alarms",
+    )
     serve.add_argument("--seed", type=int, default=0)
 
     experiment = sub.add_parser("experiment", help="regenerate an evaluation artefact")
@@ -182,6 +221,27 @@ def _cmd_describe_space(nodes: int) -> int:
     return 0
 
 
+def _env_extras(args) -> dict:
+    """Drift/failure environment kwargs shared by every construction path."""
+    from repro.mlsim import parse_drift_spec
+
+    extras: dict = {}
+    if args.failure_rate:
+        extras["transient_failure_rate"] = args.failure_rate
+    if args.drift:
+        extras["drift"] = parse_drift_spec(args.drift)
+    return extras
+
+
+def _build_injector(args):
+    """The FailureInjector for --outage, or None."""
+    from repro.core.fleet import FailureInjector, parse_outage_spec
+
+    if not args.outage:
+        return None
+    return FailureInjector(outages=parse_outage_spec(args.outage))
+
+
 def _build_pool(args, workload):
     """The EnvironmentPool for --shards / --shard-spec, or None."""
     from repro.core.fleet import (
@@ -192,6 +252,8 @@ def _build_pool(args, workload):
     )
 
     env_args = dict(fidelity=args.fidelity, objective_name=args.objective)
+    env_args.update(_env_extras(args))
+    injector = _build_injector(args)
     if args.shard_spec:
         recipes = parse_shard_spec(args.shard_spec)
         shards = []
@@ -211,7 +273,9 @@ def _build_pool(args, workload):
                     cost_multiplier=recipe["cost_multiplier"],
                 )
             )
-        return EnvironmentPool(shards, scheduler=make_scheduler(args.scheduler))
+        return EnvironmentPool(
+            shards, scheduler=make_scheduler(args.scheduler), injector=injector
+        )
     if args.shards:
         cluster = homogeneous(
             args.nodes, straggler_fraction=args.straggler_fraction
@@ -223,7 +287,9 @@ def _build_pool(args, workload):
             )
             for i in range(args.shards)
         ]
-        return EnvironmentPool(shards, scheduler=make_scheduler(args.scheduler))
+        return EnvironmentPool(
+            shards, scheduler=make_scheduler(args.scheduler), injector=injector
+        )
     return None
 
 
@@ -256,11 +322,17 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         if not os.path.isdir(log_dir):
             print(f"--trial-log: directory {log_dir!r} does not exist", file=sys.stderr)
             return 2
+    if not 0.0 <= args.failure_rate < 1.0:
+        print("--failure-rate must be in [0, 1)", file=sys.stderr)
+        return 2
+    if args.outage and not (args.shards or args.shard_spec):
+        print("--outage requires a fleet (--shards or --shard-spec)", file=sys.stderr)
+        return 2
     workload = get_workload(args.workload)
     try:
         pool = _build_pool(args, workload)
     except (ValueError, KeyError) as exc:
-        print(f"--shard-spec: {exc}", file=sys.stderr)
+        print(f"--shards/--shard-spec/--drift/--outage: {exc}", file=sys.stderr)
         return 2
     space = ml_config_space(args.nodes)
     strategy = STRATEGIES[args.strategy](args.seed)
@@ -311,15 +383,27 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         cluster = homogeneous(
             args.nodes, straggler_fraction=args.straggler_fraction
         )
+        try:
+            extras = _env_extras(args)
+        except ValueError as exc:
+            print(f"--drift: {exc}", file=sys.stderr)
+            return 2
         env = TrainingEnvironment(
             workload,
             cluster,
             seed=args.seed,
             fidelity=args.fidelity,
             objective_name=args.objective,
+            **extras,
         )
         executor = executor_for(args.workers, mode=args.executor)
     callbacks = [JsonlTrialLog(args.trial_log)] if args.trial_log else []
+    detector = None
+    if args.detect_drift:
+        from repro.core.detect import ChangePointDetector, RetuningPolicy
+
+        detector = ChangePointDetector(policy=RetuningPolicy(mode=args.retune_mode))
+        callbacks.append(detector)
     max_wall_s = (
         args.max_wall_hours * 3600.0 if args.max_wall_hours is not None else None
     )
@@ -362,6 +446,16 @@ def _cmd_tune(args: argparse.Namespace) -> int:
                   f"{cost_h:.2f} machine-hours "
                   f"(x{shard.cost_multiplier:g} probe duration, "
                   f"{shard.capacity} slot{'s' if shard.capacity != 1 else ''})")
+    if detector is not None:
+        if detector.events:
+            for event in detector.events:
+                print(f"drift    : {event.direction} detected after trial "
+                      f"{event.trial_index} "
+                      f"(wall {event.wall_clock_s / 3600:.2f} h, "
+                      f"stat {event.statistic:.1f} > {event.threshold:.1f}); "
+                      f"re-tune mode {args.retune_mode}")
+        else:
+            print("drift    : no change-points detected")
     if args.trial_log:
         print(f"trial log: {args.trial_log}")
     print("configuration:")
@@ -415,13 +509,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
 
+    if not 0.0 <= args.failure_rate < 1.0:
+        print("--failure-rate must be in [0, 1)", file=sys.stderr)
+        return 2
+
     repository = HistoryRepository(args.history) if args.history else None
     service = TuningService(
-        training_shard_templates(nodes=args.nodes, cost_multipliers=multipliers),
+        training_shard_templates(
+            nodes=args.nodes,
+            cost_multipliers=multipliers,
+            transient_failure_rate=args.failure_rate,
+        ),
         ml_config_space(args.nodes),
         repository=repository,
         warm_start=not args.no_warm_start,
     )
+    detector_factory = None
+    if args.detect_drift:
+        from repro.core.detect import ChangePointDetector
+
+        detector_factory = ChangePointDetector
     try:
         for index, name in enumerate(names):
             seed = args.seed + index
@@ -436,6 +543,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     slots=args.slots,
                     max_slots=args.max_slots,
                     workload=get_workload(name),
+                    detector_factory=detector_factory,
                 )
             )
     except AdmissionError as exc:

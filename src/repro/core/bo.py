@@ -97,6 +97,7 @@ class _SurrogateCache:
         self.hypers: Optional[np.ndarray] = None
         self._x: Optional[np.ndarray] = None
         self._y: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
 
     def _extends_cached(self, x: np.ndarray, y: np.ndarray) -> bool:
         n = self._y.shape[0]
@@ -107,6 +108,21 @@ class _SurrogateCache:
             and np.array_equal(y[:n], self._y)
         )
 
+    def _scale_extends(self, noise_scale: Optional[np.ndarray]) -> bool:
+        """Whether the requested noise scale is extendable from the cache.
+
+        GP ``extend`` always appends at unit scale, so the request must
+        match the cached scale on the prefix and be all-ones on the
+        extension.  ``None`` is the all-ones scale.
+        """
+        n = self._y.shape[0]
+        if noise_scale is None:
+            return self._scale is None or bool(np.all(self._scale == 1.0))
+        cached = self._scale if self._scale is not None else np.ones(n)
+        return np.array_equal(noise_scale[:n], cached) and bool(
+            np.all(noise_scale[n:] == 1.0)
+        )
+
     def update(
         self,
         x: np.ndarray,
@@ -114,6 +130,7 @@ class _SurrogateCache:
         factory: SurrogateFactory,
         optimize: bool,
         allow_extend: bool = True,
+        noise_scale: Optional[np.ndarray] = None,
     ):
         if (
             not optimize
@@ -121,15 +138,16 @@ class _SurrogateCache:
             and self.gp is not None
             and factory.tier_for(y.shape[0]) == factory.tier_of(self.gp)
             and self._extends_cached(x, y)
+            and self._scale_extends(noise_scale)
         ):
             n = self._y.shape[0]
             if y.shape[0] > n:
                 self.gp.extend(x[n:], y[n:])
-            self._x, self._y = x, y
+            self._x, self._y, self._scale = x, y, noise_scale
             return self.gp
         gp = factory.build(y.shape[0])
         if optimize or self.hypers is None:
-            gp.fit(x, y, optimize_hypers=True)
+            gp.fit(x, y, optimize_hypers=True, noise_scale=noise_scale)
             self.hypers = np.concatenate(
                 (gp.kernel.get_log_params(), [np.log(gp.noise_variance)])
             )
@@ -137,8 +155,8 @@ class _SurrogateCache:
             k = gp.kernel.num_params()
             gp.kernel.set_log_params(self.hypers[:k])
             gp.noise_variance = float(np.exp(self.hypers[k]))
-            gp.fit(x, y, optimize_hypers=False)
-        self.gp, self._x, self._y = gp, x, y
+            gp.fit(x, y, optimize_hypers=False, noise_scale=noise_scale)
+        self.gp, self._x, self._y, self._scale = gp, x, y, noise_scale
         return gp
 
 
@@ -324,6 +342,12 @@ class BayesianProposer:
         self._factories: dict = {}
         self._initial_design: Optional[List[ConfigDict]] = None
         self._last_refit_at = -1
+        # Re-tuning state: trials with ``index < _stale_before`` predate
+        # the most recent detected change-point.  ``_stale_discount`` is
+        # None to evict them from the training set outright, or a factor
+        # in (0, 1] to keep them with noise inflated by ``1/discount``.
+        self._stale_before = 0
+        self._stale_discount: Optional[float] = None
         self._log_active = False
         self._objective_cache = _SurrogateCache()
         self._cost_cache = _SurrogateCache()
@@ -367,20 +391,76 @@ class BayesianProposer:
         """
         self._shard_weights.update(weights)
 
+    # -- re-tuning ------------------------------------------------------------
+
+    def apply_retuning(self, before_index: int, discount: Optional[float] = None) -> None:
+        """Mark trials before ``before_index`` as pre-change-point.
+
+        ``discount=None`` evicts them from the surrogate training set;
+        a factor in (0, 1] keeps them with observation noise inflated by
+        ``1/discount`` (age-weighted targets).  Either way the cached
+        surrogates and the refit clock are reset so the next proposal
+        refits hyperparameters against the re-weighted data.  The trial
+        history itself is never mutated — only how the surrogate reads it.
+        """
+        if before_index < 0:
+            raise ValueError("before_index must be >= 0")
+        if discount is not None and not 0.0 < discount <= 1.0:
+            raise ValueError("discount must be in (0, 1]")
+        self._stale_before = max(self._stale_before, int(before_index))
+        self._stale_discount = discount
+        self._objective_cache = _SurrogateCache()
+        self._cost_cache = _SurrogateCache()
+        self._last_refit_at = -1
+
+    def _stale_split(self, trials: List) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        """(keep_mask, noise_scale) implementing the stale-history policy.
+
+        ``(None, None)`` when no re-tuning is active or nothing in
+        ``trials`` is stale; ``(mask, None)`` in evict mode (keep only the
+        masked rows); ``(None, scale)`` in discount mode (keep everything,
+        per-row noise multipliers).
+        """
+        before = self._stale_before
+        if before <= 0 or not trials:
+            return None, None
+        count = len(trials)
+        stale = np.fromiter((t.index < before for t in trials), dtype=bool, count=count)
+        if not stale.any():
+            return None, None
+        if self._stale_discount is None:
+            return ~stale, None
+        scale = np.ones(count)
+        scale[stale] = 1.0 / self._stale_discount
+        return None, scale
+
     # -- training-set assembly ------------------------------------------------
 
-    def _training_set(self, history: TrialHistory) -> Tuple[np.ndarray, np.ndarray]:
-        """Encoded (X, y) including penalised failures, in history order.
+    def _training_set(
+        self, history: TrialHistory
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Encoded (X, y, noise_scale) with penalised failures, in history order.
 
         Rows follow trial order (the GP posterior is permutation-invariant,
         and history order makes a grown history a pure *append* of the
         previous training set — the case the surrogate cache fast-paths).
         When the log transform is active, targets are log objectives and
-        failures are penalised in log space.
+        failures are penalised in log space.  Active re-tuning either drops
+        pre-change-point rows (evict) or returns a per-row noise scale
+        (discount); the failure penalty is computed from the *kept* rows
+        only, so a stale high plateau cannot park the penalty above live
+        post-drift objectives.
         """
         trials = history.trials
         if not trials:
-            return np.array([]), np.array([])
+            return np.array([]), np.array([]), None
+        keep, noise_scale = self._stale_split(trials)
+        rows = self._train_rows.rows(trials)
+        if keep is not None:
+            trials = [t for t, k in zip(trials, keep) if k]
+            rows = rows[keep]
+            if not trials:
+                return np.array([]), np.array([]), None
         count = len(trials)
         ok = np.fromiter((t.ok for t in trials), dtype=bool, count=count)
         raw = np.fromiter(
@@ -396,13 +476,12 @@ class BayesianProposer:
             penalty = ys.min() - (spread if spread > 0 else abs(ys.min()) * 0.1 + 1.0)
         else:
             penalty = -1.0
-        rows = self._train_rows.rows(trials)
         # One vectorised pass: successes get their (possibly logged)
         # objective, failures the shared penalty — no per-trial np.log or
         # repeated std() recomputation.
         targets = np.full(count, float(penalty))
         targets[ok] = ys
-        return rows, targets
+        return rows, targets, noise_scale
 
     # -- proposal ------------------------------------------------------------
 
@@ -446,7 +525,7 @@ class BayesianProposer:
     def _model_based_point(
         self, history: TrialHistory, rng: np.random.Generator
     ) -> ConfigDict:
-        x, y = self._training_set(history)
+        x, y, noise_scale = self._training_set(history)
         if len(y) == 0:
             return self.space.sample(rng)
         real_n = self._num_real_trials(history)
@@ -462,6 +541,7 @@ class BayesianProposer:
             ),
             optimize=refit_due,
             allow_extend=self.reuse_surrogate,
+            noise_scale=noise_scale,
         )
         if refit_due:
             self._last_refit_at = real_n
@@ -615,6 +695,9 @@ class BayesianProposer:
         self, history: TrialHistory, refit_due: bool
     ) -> Optional[GaussianProcess]:
         successes = history.successful()
+        keep, cost_scale = self._stale_split(successes)
+        if keep is not None:
+            successes = [t for t, k in zip(successes, keep) if k]
         if len(successes) < 3:
             return None
         x = self._cost_rows.rows(successes)
@@ -644,6 +727,7 @@ class BayesianProposer:
                 factory=self._surrogate_factory(dims, self.seed + 1),
                 optimize=optimize,
                 allow_extend=self.reuse_surrogate,
+                noise_scale=cost_scale,
             )
         except GPFitError:
             return None

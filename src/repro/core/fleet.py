@@ -52,9 +52,184 @@ sequence exactly — the regression anchor ``tests/test_fleet.py`` pins.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace as dc_replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """One scheduled shard outage: down on ``[start_s, end_s)`` virtual time.
+
+    Probes in flight on the shard when the window opens are *preempted*
+    (the executor bills the burned wall-clock via
+    :meth:`~repro.core.trial.TrialHistory.charge_cancelled` and retries or
+    redirects); new launches are refused while the window is open
+    (:meth:`EnvironmentPool.free_slots` reports zero).
+    """
+
+    shard: str
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if not self.shard:
+            raise ValueError("outage shard name must be non-empty")
+        if self.start_s < 0 or self.end_s <= self.start_s:
+            raise ValueError("need 0 <= start_s < end_s")
+
+
+@dataclass(frozen=True)
+class FailureSpike:
+    """A window of elevated transient-failure probability on one shard.
+
+    While open, probes launched on the shard get ``rate`` added to the
+    environment's ``transient_failure_rate`` — a spot-reclamation wave or
+    flaky switch that kills jobs without taking the whole shard down.
+    """
+
+    shard: str
+    start_s: float
+    end_s: float
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not self.shard:
+            raise ValueError("spike shard name must be non-empty")
+        if self.start_s < 0 or self.end_s <= self.start_s:
+            raise ValueError("need 0 <= start_s < end_s")
+        if not 0.0 < self.rate < 1.0:
+            raise ValueError("spike rate must be in (0, 1)")
+
+
+class FailureInjector:
+    """Scheduled shard failures, keyed (like drift) by virtual time.
+
+    Holds :class:`OutageWindow`s and :class:`FailureSpike`s and answers
+    pure time queries — no mutable state, so same-seed sessions replay the
+    same failures bit-identically.  Attached to a pool via
+    ``EnvironmentPool(..., injector=...)``; ``None`` keeps every code path
+    identical to the failure-free fleet.
+    """
+
+    def __init__(
+        self,
+        outages: Sequence[OutageWindow] = (),
+        spikes: Sequence[FailureSpike] = (),
+    ) -> None:
+        self._outages: Dict[str, List[OutageWindow]] = {}
+        for window in outages:
+            self._outages.setdefault(window.shard, []).append(window)
+        for windows in self._outages.values():
+            windows.sort(key=lambda w: w.start_s)
+        self._spikes: Dict[str, List[FailureSpike]] = {}
+        for spike in spikes:
+            self._spikes.setdefault(spike.shard, []).append(spike)
+        for spikes_list in self._spikes.values():
+            spikes_list.sort(key=lambda s: s.start_s)
+
+    @property
+    def outages(self) -> Tuple[OutageWindow, ...]:
+        return tuple(w for windows in self._outages.values() for w in windows)
+
+    @property
+    def spikes(self) -> Tuple[FailureSpike, ...]:
+        return tuple(s for spikes in self._spikes.values() for s in spikes)
+
+    def is_down(self, name: str, t: float) -> bool:
+        """Whether the shard is inside an outage window at ``t``."""
+        return any(
+            w.start_s <= t < w.end_s for w in self._outages.get(name, ())
+        )
+
+    def up_after(self, name: str, t: float) -> float:
+        """The earliest time >= ``t`` at which the shard is up.
+
+        Chained windows (the next opening exactly when one closes) are
+        walked through; returns ``t`` itself when the shard is up.
+        """
+        t = float(t)
+        for window in self._outages.get(name, ()):
+            if window.start_s <= t < window.end_s:
+                t = window.end_s
+        return t
+
+    def preemption_at(
+        self, name: str, start_s: float, end_s: float
+    ) -> Optional[float]:
+        """When an outage would kill a probe running on ``[start_s, end_s)``.
+
+        Returns the first outage start strictly inside the interval, or
+        ``start_s`` if the shard was already down at launch time (a probe
+        must never run through a window); ``None`` when the probe
+        completes undisturbed.
+        """
+        if self.is_down(name, start_s):
+            return float(start_s)
+        best: Optional[float] = None
+        for window in self._outages.get(name, ()):
+            if start_s < window.start_s < end_s:
+                if best is None or window.start_s < best:
+                    best = window.start_s
+        return best
+
+    def failure_boost(self, name: str, t: float) -> float:
+        """Summed spike rates open on the shard at ``t``."""
+        return sum(
+            s.rate for s in self._spikes.get(name, ()) if s.start_s <= t < s.end_s
+        )
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "outages": [
+                {"shard": w.shard, "start_s": w.start_s, "end_s": w.end_s}
+                for w in self.outages
+            ],
+            "spikes": [
+                {
+                    "shard": s.shard,
+                    "start_s": s.start_s,
+                    "end_s": s.end_s,
+                    "rate": s.rate,
+                }
+                for s in self.spikes
+            ],
+        }
+
+
+def parse_outage_spec(text: str) -> List[OutageWindow]:
+    """Parse a CLI ``--outage`` string into outage windows.
+
+    Grammar: semicolon-separated per-shard entries, each
+    ``SHARD:START-END[,START-END...]`` in virtual seconds — e.g.
+    ``"shard0:3600-7200;shard2:1000-1500,9000-9900"``.
+    """
+    windows: List[OutageWindow] = []
+    for raw_entry in text.split(";"):
+        entry = raw_entry.strip()
+        if not entry:
+            continue
+        shard, sep, body = entry.partition(":")
+        shard = shard.strip()
+        if not sep or not shard:
+            raise ValueError(
+                f"bad outage entry {entry!r}: expected SHARD:START-END[,...]"
+            )
+        for span in body.split(","):
+            span = span.strip()
+            if not span:
+                continue
+            start_text, dash, end_text = span.partition("-")
+            try:
+                start_s, end_s = float(start_text), float(end_text)
+            except ValueError:
+                raise ValueError(
+                    f"bad outage span {span!r} in {entry!r}: expected START-END"
+                ) from None
+            windows.append(OutageWindow(shard=shard, start_s=start_s, end_s=end_s))
+    if not windows:
+        raise ValueError("outage spec describes no windows")
+    return windows
 
 
 @dataclass(frozen=True)
@@ -242,6 +417,7 @@ class EnvironmentPool:
         self,
         shards: Sequence[EnvironmentShard],
         scheduler: Optional[ShardScheduler] = None,
+        injector: Optional[FailureInjector] = None,
     ) -> None:
         shards = list(shards)
         if not shards:
@@ -263,6 +439,17 @@ class EnvironmentPool:
         self._busy: Dict[str, int] = {name: 0 for name in names}
         self._rngs: Dict[str, np.random.Generator] = {}
         self._lease_width: Optional[int] = None
+        self.injector = injector
+        if injector is not None:
+            known = set(names)
+            for window in list(injector.outages) + list(injector.spikes):
+                if window.shard not in known:
+                    raise ValueError(
+                        f"injector references unknown shard {window.shard!r}"
+                    )
+        # Virtual clock the injector is evaluated at; executors stamp it
+        # with the session wall-clock.  Inert while ``injector is None``.
+        self.clock_s = 0.0
         self.reset(seed=0)
 
     @classmethod
@@ -333,15 +520,47 @@ class EnvironmentPool:
                 raise ValueError("lease width must be >= 0 (or None)")
         self._lease_width = width
 
+    def set_clock(self, t: float) -> None:
+        """Advance the virtual clock outage queries are evaluated at."""
+        self.clock_s = float(t)
+
+    def is_down(self, name: str) -> bool:
+        """Whether the shard is inside an outage window right now."""
+        return self.injector is not None and self.injector.is_down(
+            name, self.clock_s
+        )
+
+    def next_up_s(self) -> Optional[float]:
+        """Earliest recovery time among currently-down shards (None: all up)."""
+        if self.injector is None:
+            return None
+        recoveries = [
+            self.injector.up_after(shard.name, self.clock_s)
+            for shard in self.shards
+            if self.is_down(shard.name)
+        ]
+        return min(recoveries) if recoveries else None
+
     def free_slots(self, name: str) -> int:
+        if self.is_down(name):
+            return 0
         free = self._by_name[name].capacity - self._busy[name]
         if self._lease_width is not None:
             free = min(free, self._lease_width - self.total_busy())
         return max(0, free)
 
     def free_capacity(self) -> int:
-        """Free slots fleet-wide, respecting the lease."""
-        free = self.total_capacity - self.total_busy()
+        """Free slots fleet-wide, respecting the lease and outages.
+
+        With no injector this equals ``total_capacity - total_busy``
+        (lease-capped) exactly; downed shards' free slots drop out of the
+        sum while their in-flight probes still count as busy.
+        """
+        free = sum(
+            shard.capacity - self._busy[shard.name]
+            for shard in self.shards
+            if not self.is_down(shard.name)
+        )
         if self._lease_width is not None:
             free = min(free, self._lease_width - self.total_busy())
         return max(0, free)
@@ -375,6 +594,7 @@ class EnvironmentPool:
         measurement noise replays identically across sessions.
         """
         self._busy = {shard.name: 0 for shard in self.shards}
+        self.clock_s = 0.0
         self._rngs = {
             shard.name: np.random.default_rng([seed, shard.index])
             for shard in self.shards
@@ -409,6 +629,11 @@ class EnvironmentPool:
                 "num_shards": len(self.shards),
                 "total_capacity": self.total_capacity,
                 "scheduler": type(self.scheduler).__name__,
+                **(
+                    {"injector": self.injector.describe()}
+                    if self.injector is not None
+                    else {}
+                ),
                 "shards": [
                     {
                         "name": shard.name,

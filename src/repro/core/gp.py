@@ -73,7 +73,7 @@ def _hyperfit_one(task: tuple) -> Tuple[float, np.ndarray]:
     pure function of its task tuple, and the best-of reduction happens in
     start order either way.
     """
-    kernel, x, z, noise_variance, fit_noise, analytic, bounds, start = task
+    kernel, x, z, noise_variance, fit_noise, analytic, bounds, start, scale = task
     scratch = GaussianProcess(
         kernel=kernel,
         noise_variance=noise_variance,
@@ -83,6 +83,7 @@ def _hyperfit_one(task: tuple) -> Tuple[float, np.ndarray]:
     )
     scratch._x = x
     scratch._z = z
+    scratch._noise_scale = scale
     result = optimize.minimize(
         lambda p: scratch._neg_log_marginal(p, jac=analytic),
         start,
@@ -214,14 +215,29 @@ class GaussianProcess:
         self._lml: Optional[float] = None
         self._y_mean = 0.0
         self._y_std = 1.0
+        self._noise_scale: Optional[np.ndarray] = None
         #: Number of ``extend`` calls that hit a degenerate block and fell
         #: back to a full refactorisation with escalating jitter.
         self.extend_fallbacks = 0
 
     # -- fitting ---------------------------------------------------------
 
-    def fit(self, x: np.ndarray, y: np.ndarray, optimize_hypers: bool = True) -> "GaussianProcess":
-        """Fit to row-stacked inputs ``x`` and targets ``y``."""
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        optimize_hypers: bool = True,
+        noise_scale: Optional[np.ndarray] = None,
+    ) -> "GaussianProcess":
+        """Fit to row-stacked inputs ``x`` and targets ``y``.
+
+        ``noise_scale`` optionally supplies a per-observation multiplier on
+        the (shared, possibly fitted) noise variance — observation ``i``
+        carries noise ``noise_variance * noise_scale[i]``.  Scales above
+        1.0 down-weight points the caller trusts less (e.g. pre-drift
+        history under a re-tuning discount).  ``None`` keeps the exact
+        homoscedastic path, bit-identical to the scale-free code.
+        """
         x = np.atleast_2d(np.asarray(x, dtype=float))
         y = np.asarray(y, dtype=float).ravel()
         if x.shape[0] != y.shape[0]:
@@ -230,6 +246,15 @@ class GaussianProcess:
             raise GPFitError("need at least one observation")
         if not np.all(np.isfinite(x)) or not np.all(np.isfinite(y)):
             raise GPFitError("non-finite values in training data")
+        if noise_scale is not None:
+            noise_scale = np.asarray(noise_scale, dtype=float).ravel()
+            if noise_scale.shape[0] != x.shape[0]:
+                raise ValueError(
+                    f"noise_scale has {noise_scale.shape[0]} entries "
+                    f"but x has {x.shape[0]} rows"
+                )
+            if not np.all(np.isfinite(noise_scale)) or np.any(noise_scale <= 0):
+                raise ValueError("noise_scale entries must be positive and finite")
 
         if self.kernel is None:
             self.kernel = Matern52(x.shape[1])
@@ -240,6 +265,7 @@ class GaussianProcess:
 
         self._x = x
         self._y = y
+        self._noise_scale = noise_scale
         self._standardise()
         if optimize_hypers and x.shape[0] >= 3:
             self._optimize_hyperparameters()
@@ -275,7 +301,7 @@ class GaussianProcess:
         """
         self._apply_log_params(log_params)
         n = self._x.shape[0]
-        cov = self.kernel(self._x, self._x) + self.noise_variance * np.eye(n)
+        cov = self.kernel(self._x, self._x) + self._noise_diag(n)
         try:
             chol, _ = _chol_with_jitter(cov)
         except GPFitError:
@@ -301,10 +327,23 @@ class GaussianProcess:
         num_kernel = self.kernel.num_params()
         grad[:num_kernel] = 0.5 * self.kernel.grad_log_params_dot(self._x, a_mat)
         if self.fit_noise:
-            # dK/d(log noise) = noise * I, so the trace term collapses.
-            grad[num_kernel] = (
-                0.5 * self.noise_variance * (float(alpha @ alpha) - np.trace(k_inv))
-            )
+            if self._noise_scale is None:
+                # dK/d(log noise) = noise * I, so the trace term collapses.
+                grad[num_kernel] = (
+                    0.5 * self.noise_variance * (float(alpha @ alpha) - np.trace(k_inv))
+                )
+            else:
+                # dK/d(log noise) = noise * diag(scale): the trace picks up
+                # the per-observation scale weights.
+                scale = self._noise_scale
+                grad[num_kernel] = (
+                    0.5
+                    * self.noise_variance
+                    * (
+                        float(alpha @ (scale * alpha))
+                        - float(np.diag(k_inv) @ scale)
+                    )
+                )
         return -lml, -grad
 
     def _optimize_hyperparameters(self) -> None:
@@ -329,6 +368,7 @@ class GaussianProcess:
                 self.analytic_gradients,
                 bounds,
                 start,
+                self._noise_scale,
             )
             for start in starts
         ]
@@ -341,9 +381,19 @@ class GaussianProcess:
                 best_params = params
         self._apply_log_params(best_params)
 
+    def _noise_diag(self, n: int) -> np.ndarray:
+        """The observation-noise diagonal as an (n, n) matrix.
+
+        The ``None`` branch reproduces the homoscedastic expression
+        verbatim so scale-free fits stay bit-identical.
+        """
+        if self._noise_scale is None:
+            return self.noise_variance * np.eye(n)
+        return np.diag(self.noise_variance * self._noise_scale)
+
     def _refresh_posterior(self) -> None:
         n = self._x.shape[0]
-        cov = self.kernel(self._x, self._x) + self.noise_variance * np.eye(n)
+        cov = self.kernel(self._x, self._x) + self._noise_diag(n)
         self._chol, self._jitter = _chol_with_jitter(cov)
         self._finish_posterior()
 
@@ -401,6 +451,12 @@ class GaussianProcess:
             raise GPFitError("non-finite values in new observations")
 
         n, m = self._x.shape[0], x_new.shape[0]
+        # Heteroscedastic fits extend at unit scale: the new block below
+        # adds plain ``noise_variance`` noise, so the stored scale vector
+        # grows by ones — and must do so *before* the degenerate-block
+        # fallback, whose full refactorisation reads it.
+        if self._noise_scale is not None:
+            self._noise_scale = np.concatenate((self._noise_scale, np.ones(m)))
         k_cross = self.kernel(self._x, x_new)  # (n, m)
         k_new = self.kernel(x_new, x_new) + (
             self.noise_variance + self._jitter
@@ -627,9 +683,21 @@ class SparseGaussianProcess:
     # -- fitting ---------------------------------------------------------
 
     def fit(
-        self, x: np.ndarray, y: np.ndarray, optimize_hypers: bool = True
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        optimize_hypers: bool = True,
+        noise_scale: Optional[np.ndarray] = None,
     ) -> "SparseGaussianProcess":
-        """Fit to row-stacked inputs ``x`` and targets ``y``."""
+        """Fit to row-stacked inputs ``x`` and targets ``y``.
+
+        ``noise_scale`` is accepted for interface parity with the exact
+        tier and ignored: the Nyström projection is homoscedastic by
+        construction.  At the history sizes that reach this tier the
+        re-tuning layer is expected to run in *evict* mode (drop stale
+        rows) rather than discount them, so the approximation never sees
+        a non-unit scale in practice.
+        """
         x = np.atleast_2d(np.asarray(x, dtype=float))
         y = np.asarray(y, dtype=float).ravel()
         if x.shape[0] != y.shape[0]:
@@ -913,7 +981,13 @@ class PriorMeanGP:
         values = np.asarray(self.prior_mean(x), dtype=float).ravel()
         return mean + std * values
 
-    def fit(self, x: np.ndarray, y: np.ndarray, optimize_hypers: bool = True) -> "PriorMeanGP":
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        optimize_hypers: bool = True,
+        noise_scale: Optional[np.ndarray] = None,
+    ) -> "PriorMeanGP":
         x = np.atleast_2d(np.asarray(x, dtype=float))
         y = np.asarray(y, dtype=float).ravel()
         if y.size == 0:
@@ -923,7 +997,12 @@ class PriorMeanGP:
         if std <= 1e-12:
             std = abs(mean) * 0.1 + 1.0
         self._scale = (mean, std)
-        self.inner.fit(x, y - self._prior_units(x), optimize_hypers=optimize_hypers)
+        self.inner.fit(
+            x,
+            y - self._prior_units(x),
+            optimize_hypers=optimize_hypers,
+            noise_scale=noise_scale,
+        )
         return self
 
     def extend(self, x_new: np.ndarray, y_new: np.ndarray) -> "PriorMeanGP":

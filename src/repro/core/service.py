@@ -113,6 +113,8 @@ def training_shard_templates(
     cost_multipliers: Sequence[float] = (1.0,),
     capacities: Optional[Sequence[int]] = None,
     node_type: str = "std-cpu",
+    transient_failure_rate: float = 0.0,
+    drift=None,
 ) -> List[ShardTemplate]:
     """Standard fleet templates over simulated training clusters.
 
@@ -120,6 +122,9 @@ def training_shard_templates(
     :class:`~repro.mlsim.TrainingEnvironment` for the tenant's *own*
     workload (``spec.workload`` is required) on a homogeneous
     ``nodes``-node cluster, seeded from the tenant seed and shard index.
+    ``transient_failure_rate`` and ``drift`` (a
+    :class:`~repro.mlsim.DriftSchedule`) are forwarded to every built
+    environment; the defaults keep the stationary, failure-free fleet.
     """
     from repro.cluster import homogeneous
     from repro.mlsim import TrainingEnvironment
@@ -139,6 +144,8 @@ def training_shard_templates(
             spec.workload,
             homogeneous(nodes, node_type),
             seed=spec.seed + shard_index,
+            transient_failure_rate=transient_failure_rate,
+            drift=drift,
         )
 
     return [
@@ -176,6 +183,11 @@ class TenantSpec:
     workload: Optional[object] = None
     executor_mode: str = "async"
     callbacks: Sequence[SessionCallback] = ()
+    #: Zero-argument callable returning a fresh per-session callback —
+    #: typically a :class:`~repro.core.detect.ChangePointDetector` — so
+    #: each (re)built session gets its own detector state rather than
+    #: sharing one stateful instance across tenants.
+    detector_factory: Optional[Callable[[], SessionCallback]] = None
 
     @property
     def ceiling(self) -> int:
@@ -423,6 +435,8 @@ class TuningService:
         else:
             executor = AsyncExecutor(pool=handle.pool)
         callbacks = list(spec.callbacks)
+        if spec.detector_factory is not None:
+            callbacks.append(spec.detector_factory())
         if with_ledger:
             callbacks.append(self._ledger_callback)
         session = TuningSession(handle.strategy, executor=executor, callbacks=callbacks)

@@ -62,7 +62,84 @@ from repro.configspace import ConfigDict, ConfigSpace
 from repro.core.fleet import EnvironmentPool, EnvironmentShard
 from repro.core.strategy import SearchStrategy, TuningBudget, TuningResult
 from repro.core.trial import Trial, TrialHistory
-from repro.mlsim import TrainingEnvironment
+from repro.mlsim import Measurement, TrainingEnvironment
+
+#: Attempts a preempted probe gets (original launch + relaunches) before
+#: the executor abandons it as a failed trial.
+MAX_PROBE_ATTEMPTS = 3
+
+
+def _set_env_clock(env, t: float) -> None:
+    """Stamp an environment's virtual clock, if it has one.
+
+    Drift schedules are evaluated at ``TrainingEnvironment.clock_s``; the
+    stamp is a plain attribute write, inert without a drift schedule, so
+    stamping unconditionally preserves bit-identical static trajectories.
+    """
+    set_clock = getattr(env, "set_clock", None)
+    if set_clock is not None:
+        set_clock(t)
+
+
+def _measure_on(pool, shard, strategy, config, t: float):
+    """One probe attempt on a shard at virtual time ``t``.
+
+    Stamps the shard environment's clock and applies any open
+    failure-rate spike from the pool's injector as a transient
+    ``extra_failure_rate`` for just this probe.
+    """
+    env = shard.env
+    _set_env_clock(env, t)
+    injector = pool.injector
+    if injector is not None:
+        boost = injector.failure_boost(shard.name, t)
+        if boost > 0 and hasattr(env, "extra_failure_rate"):
+            env.extra_failure_rate = boost
+            try:
+                return shard.measure(strategy, config)
+            finally:
+                env.extra_failure_rate = 0.0
+    return shard.measure(strategy, config)
+
+
+def _abandoned_measurement(last: Measurement) -> Measurement:
+    """The failed, zero-cost record of a probe abandoned to outages.
+
+    The burned machine time of every preempted attempt was already billed
+    through ``charge_cancelled``, so the abandonment itself is free.
+    """
+    return Measurement(
+        config=last.config,
+        ok=False,
+        fidelity=last.fidelity,
+        error="probe preempted by repeated shard outages",
+        probe_cost_s=0.0,
+    )
+
+
+def _measure_preemptible(pool, strategy, shard, config, start_s, history):
+    """Run one probe on a shard, retrying across outage preemptions.
+
+    Returns ``(measurement, end_s)``.  Each attempt that an outage window
+    cuts short bills the wall-clock it burned via
+    :meth:`~repro.core.trial.TrialHistory.charge_cancelled` and relaunches
+    on the same shard once it recovers; after
+    :data:`MAX_PROBE_ATTEMPTS` preemptions the probe is abandoned as a
+    failed zero-cost measurement (the serial executor redirects to other
+    shards instead — it holds no other slots while waiting).
+    """
+    injector = pool.injector
+    t = float(start_s)
+    measurement = None
+    for _ in range(MAX_PROBE_ATTEMPTS):
+        measurement = _measure_on(pool, shard, strategy, config, t)
+        end_s = t + max(0.0, measurement.probe_cost_s)
+        preempt_s = injector.preemption_at(shard.name, t, end_s)
+        if preempt_s is None:
+            return measurement, end_s
+        history.charge_cancelled(max(0.0, preempt_s - t), shard=shard.name)
+        t = injector.up_after(shard.name, preempt_s)
+    return _abandoned_measurement(measurement), t
 
 
 class SessionCallback:
@@ -322,25 +399,91 @@ class SerialExecutor(Executor):
 
     def run_round(self, strategy, env, space, history, rng, budget, events):
         shard: Optional[EnvironmentShard] = None
+        injector = None if self.pool is None else self.pool.injector
+        round_start_s = history.total_wall_clock_s
         if self.pool is not None:
+            if injector is not None:
+                self.pool.set_clock(round_start_s)
             shard = self.pool.scheduler.select(self.pool)
+            if shard is None and injector is not None:
+                # Every shard is inside an outage window: the session
+                # waits out the earliest recovery (dead wall-clock, no
+                # machine cost) instead of stalling out.
+                up = self.pool.next_up_s()
+                if up is not None and up > round_start_s:
+                    history.advance_wall_clock(up - round_start_s)
+                    round_start_s = history.total_wall_clock_s
+                    self.pool.set_clock(round_start_s)
+                    shard = self.pool.scheduler.select(self.pool)
             if shard is None:
                 return []
         config = strategy.propose(history, space, rng)
         events.trial_start(len(history), config)
         if shard is None:
+            _set_env_clock(env, round_start_s)
             measurement = strategy.measure(env, config)
             trial = history.record(config, measurement)
-        else:
+        elif injector is None:
+            _set_env_clock(shard.env, round_start_s)
             self.pool.acquire(shard.name)
             try:
                 measurement = shard.measure(strategy, config)
             finally:
                 self.pool.release(shard.name)
             trial = history.record(config, measurement, shard=shard.name)
+        else:
+            measurement, end_s, shard = self._probe_with_redirect(
+                strategy, shard, config, round_start_s, history
+            )
+            trial = history.record(
+                config,
+                measurement,
+                wall_clock_s=max(0.0, end_s - round_start_s),
+                shard=shard.name,
+            )
         strategy.observe(trial)
         events.trial_end(trial)
         return [trial]
+
+    def _probe_with_redirect(self, strategy, shard, config, start_s, history):
+        """Probe under failure injection, redirecting across preemptions.
+
+        Each attempt that an outage preempts bills the burned wall-clock
+        (:meth:`TrialHistory.charge_cancelled`) and asks the scheduler to
+        re-place the probe at the preemption instant — downed shards are
+        skipped, so the relaunch lands on any healthy shard (or the
+        original one after it recovers).  After
+        :data:`MAX_PROBE_ATTEMPTS` attempts, or with the whole fleet
+        down past its last recovery, the probe is abandoned as a failed
+        zero-cost measurement.  Returns ``(measurement, end_s, shard)``.
+        """
+        injector = self.pool.injector
+        t = float(start_s)
+        measurement = None
+        for _ in range(MAX_PROBE_ATTEMPTS):
+            self.pool.acquire(shard.name)
+            try:
+                measurement = _measure_on(self.pool, shard, strategy, config, t)
+            finally:
+                self.pool.release(shard.name)
+            end_s = t + max(0.0, measurement.probe_cost_s)
+            preempt_s = injector.preemption_at(shard.name, t, end_s)
+            if preempt_s is None:
+                return measurement, end_s, shard
+            history.charge_cancelled(max(0.0, preempt_s - t), shard=shard.name)
+            t = preempt_s
+            self.pool.set_clock(t)
+            next_shard = self.pool.scheduler.select(self.pool)
+            if next_shard is None:
+                up = self.pool.next_up_s()
+                if up is not None and up > t:
+                    t = up
+                    self.pool.set_clock(t)
+                    next_shard = self.pool.scheduler.select(self.pool)
+            if next_shard is None:
+                break
+            shard = next_shard
+        return _abandoned_measurement(measurement), t, shard
 
 
 class ParallelExecutor(Executor):
@@ -390,6 +533,20 @@ class ParallelExecutor(Executor):
 
     def run_round(self, strategy, env, space, history, rng, budget, events):
         k = self.workers
+        injector = None if self.pool is None else self.pool.injector
+        if injector is not None:
+            self.pool.set_clock(history.total_wall_clock_s)
+            if self.pool.free_capacity() == 0:
+                # The whole fleet is inside outage windows: wait out the
+                # earliest recovery (dead wall-clock, no machine cost).
+                up = self.pool.next_up_s()
+                if up is not None and up > history.total_wall_clock_s:
+                    history.advance_wall_clock(up - history.total_wall_clock_s)
+                    self.pool.set_clock(history.total_wall_clock_s)
+            # Downed shards drop out of the round width exactly like a
+            # shrunken lease — the barrier narrows instead of tripping the
+            # mid-assignment saturation error below.
+            k = min(k, self.pool.free_capacity())
         if self.pool is not None and self.pool.lease_width is not None:
             # Under a service lease the round width is the leased free
             # capacity, not the raw slot count — a shrunken lease narrows
@@ -444,21 +601,34 @@ class ParallelExecutor(Executor):
                 events.trial_start(len(history) + offset, config)
             for member, (config, shard) in enumerate(zip(batch, shards)):
                 if shard is None:
+                    _set_env_clock(env, round_start_wall_s)
                     measurement = strategy.measure(env, config)
-                else:
+                    duration = measurement.probe_cost_s
+                elif injector is None:
+                    _set_env_clock(shard.env, round_start_wall_s)
                     measurement = shard.measure(strategy, config)
+                    duration = measurement.probe_cost_s
+                else:
+                    # Preempted members retry on their own shard after it
+                    # recovers (the slot is held for the whole round); the
+                    # member's duration then includes the dead time.
+                    measurement, end_s = _measure_preemptible(
+                        self.pool, strategy, shard, config,
+                        round_start_wall_s, history,
+                    )
+                    duration = max(0.0, end_s - round_start_wall_s)
                 # The session total advances by the running round maximum (the
                 # slowest member so far — exactly the round's slowest probe
                 # once the round completes), while each trial is stamped with
                 # its own physical completion time: round start plus its own
                 # probe cost, independent of batch order.
-                new_wall_s = max(round_wall_s, measurement.probe_cost_s)
+                new_wall_s = max(round_wall_s, duration)
                 trial = history.record(
                     config,
                     measurement,
                     wall_clock_s=new_wall_s - round_wall_s,
                     round_index=round_index,
-                    completed_at_wall_s=round_start_wall_s + measurement.probe_cost_s,
+                    completed_at_wall_s=round_start_wall_s + duration,
                     shard=None if shard is None else shard.name,
                 )
                 round_wall_s = new_wall_s
@@ -672,10 +842,11 @@ class AsyncExecutor(Executor):
                 return False
         return True
 
-    def run_round(self, strategy, env, space, history, rng, budget, events):
+    def _fill_slots(self, strategy, env, space, history, rng, budget, events):
         # Fill every free slot (earliest-free first; the scheduler picks
         # the shard when a pool is attached), so each launch is
         # conditioned on exactly the trials completed by its start time.
+        injector = None if self.pool is None else self.pool.injector
         while True:
             slot_index = self._next_free_slot()
             if slot_index is None:
@@ -708,11 +879,23 @@ class AsyncExecutor(Executor):
             del self._slots[slot_index]
             events.trial_start(self._launched, config)
             if shard is None:
+                _set_env_clock(env, start_s)
                 measurement = strategy.measure(env, config)
+                completion_s = start_s + max(0.0, measurement.probe_cost_s)
             else:
                 self.pool.acquire(shard.name)
                 try:
-                    measurement = shard.measure(strategy, config)
+                    if injector is None:
+                        _set_env_clock(shard.env, start_s)
+                        measurement = shard.measure(strategy, config)
+                        completion_s = start_s + max(0.0, measurement.probe_cost_s)
+                    else:
+                        # Outage preemptions retry on the same shard after
+                        # recovery (the slot stays occupied); the recorded
+                        # completion then includes the dead time.
+                        measurement, completion_s = _measure_preemptible(
+                            self.pool, strategy, shard, config, start_s, history
+                        )
                 except BaseException:
                     # A raising probe must not strand the slot: put it back
                     # and free the shard so a caller that catches the error
@@ -723,7 +906,7 @@ class AsyncExecutor(Executor):
             heappush(
                 self._in_flight,
                 (
-                    start_s + max(0.0, measurement.probe_cost_s),
+                    completion_s,
                     self._launched,
                     config,
                     measurement,
@@ -732,8 +915,25 @@ class AsyncExecutor(Executor):
                 ),
             )
             self._launched += 1
-        if not self._in_flight:
-            return []
+
+    def run_round(self, strategy, env, space, history, rng, budget, events):
+        injector = None if self.pool is None else self.pool.injector
+        if injector is not None:
+            self.pool.set_clock(history.total_wall_clock_s)
+        self._fill_slots(strategy, env, space, history, rng, budget, events)
+        while not self._in_flight:
+            if injector is None or not self._slots:
+                return []
+            # Nothing launched and nothing in flight: if shards are down,
+            # wait out the earliest recovery (dead wall-clock, no machine
+            # cost) and refill; otherwise the session is genuinely done.
+            up = self.pool.next_up_s()
+            now = history.total_wall_clock_s
+            if up is None or up <= now:
+                return []
+            history.advance_wall_clock(up - now)
+            self.pool.set_clock(history.total_wall_clock_s)
+            self._fill_slots(strategy, env, space, history, rng, budget, events)
         completion_s, launch_ordinal, config, measurement, _, shard = heappop(
             self._in_flight
         )
@@ -824,10 +1024,17 @@ class TuningSession:
         strategy: SearchStrategy,
         executor: Optional[Executor] = None,
         callbacks: Sequence[SessionCallback] = (),
+        detector: Optional[SessionCallback] = None,
     ) -> None:
         self.strategy = strategy
         self.executor = executor if executor is not None else SerialExecutor()
         self.callbacks = list(callbacks)
+        # Convenience slot for a ChangePointDetector (repro.core.detect) —
+        # just another callback, but surfaced as a named parameter so the
+        # common "tune under drift" setup reads as intent.
+        self.detector = detector
+        if detector is not None:
+            self.callbacks.append(detector)
         self._env: Optional[TrainingEnvironment] = None
         self._env_like = None
         self._space: Optional[ConfigSpace] = None

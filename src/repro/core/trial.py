@@ -75,6 +75,7 @@ class TrialHistory:
         self.total_wall_clock_s = 0.0
         self.cancelled_cost_s = 0.0
         self._cost_by_shard: Dict[Optional[str], float] = {}
+        self.events: List[object] = []
 
     def record(
         self,
@@ -149,6 +150,26 @@ class TrialHistory:
         self.total_cost_s += cost_s
         self._cost_by_shard[shard] = self._cost_by_shard.get(shard, 0.0) + cost_s
 
+    def advance_wall_clock(self, dt_s: float) -> None:
+        """Move the session wall-clock forward without recording a trial.
+
+        Dead time the session spends *waiting* rather than probing — e.g.
+        every shard down in an outage window — still elapses on the
+        stopwatch.  No machine cost accrues.
+        """
+        if dt_s < 0:
+            raise ValueError("dt_s must be non-negative")
+        self.total_wall_clock_s += dt_s
+
+    def record_event(self, event: object) -> None:
+        """Append a session-level event (e.g. a detected change-point).
+
+        Events live alongside the trial log — ordered by insertion, not
+        charged to any cost axis — so experiments can correlate detector
+        output with the trial timeline after the fact.
+        """
+        self.events.append(event)
+
     def clone(self) -> "TrialHistory":
         """A metadata-preserving copy sharing the (frozen) trial records.
 
@@ -164,6 +185,7 @@ class TrialHistory:
         copy.total_wall_clock_s = self.total_wall_clock_s
         copy.cancelled_cost_s = self.cancelled_cost_s
         copy._cost_by_shard = dict(self._cost_by_shard)
+        copy.events = list(self.events)
         return copy
 
     def cost_by_shard(self) -> Dict[Optional[str], float]:
@@ -216,12 +238,42 @@ class TrialHistory:
         """Trials whose probe crashed (infeasible configuration)."""
         return [t for t in self._trials if not t.ok]
 
-    def best(self) -> Optional[Trial]:
-        """The successful trial with the highest objective, or None."""
+    def best(self, since_index: Optional[int] = None) -> Optional[Trial]:
+        """The successful trial with the highest objective, or None.
+
+        ``since_index`` restricts the search to trials with
+        ``index >= since_index`` — the building block for drift-aware
+        recommendations, where measurements taken before a detected
+        change-point are no longer comparable to those taken after.
+        """
         candidates = self.successful()
+        if since_index is not None:
+            candidates = [t for t in candidates if t.index >= since_index]
         if not candidates:
             return None
         return max(candidates, key=lambda t: t.objective)
+
+    def recommendation(self) -> Optional[Trial]:
+        """The trial a deployment should copy its configuration from.
+
+        With no recorded change-point events this is :meth:`best`.  After
+        a detected change-point (any event exposing ``trial_index``),
+        only trials measured *after* the latest one count: pre-change
+        measurements were taken on a surface that no longer exists, so a
+        stale record objective must not outrank a fresh, honest one.
+        Falls back to the global best while the post-change window is
+        still empty.
+        """
+        cutoff = None
+        for event in self.events:
+            index = getattr(event, "trial_index", None)
+            if index is not None:
+                cutoff = int(index) + 1 if cutoff is None else max(cutoff, int(index) + 1)
+        if cutoff is not None:
+            fresh = self.best(since_index=cutoff)
+            if fresh is not None:
+                return fresh
+        return self.best()
 
     def best_objective(self) -> Optional[float]:
         """Best measured objective so far, or None if nothing succeeded."""

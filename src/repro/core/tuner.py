@@ -151,6 +151,9 @@ class MLConfigTuner(SearchStrategy):
         self._proposer: Optional[BayesianProposer] = None
         self._incumbent: Optional[float] = None
         self._shard_weights: dict = {}
+        self._reprobe_queue: list = []
+        self._refresh_remaining = 0
+        self._pending_retune: Optional[tuple] = None
         self.probes_terminated_early = 0
 
     # -- SearchStrategy hooks ------------------------------------------------
@@ -166,7 +169,56 @@ class MLConfigTuner(SearchStrategy):
         self._proposer = None
         self._incumbent = None
         self._shard_weights = {}
+        self._reprobe_queue = []
+        self._refresh_remaining = 0
+        self._pending_retune = None
         self.probes_terminated_early = 0
+
+    def apply_retuning(
+        self,
+        before_index: int,
+        discount: Optional[float] = None,
+        reprobe: Optional[ConfigDict] = None,
+        refresh_initial: int = 0,
+    ) -> None:
+        """React to a detected change-point: forget what no longer holds.
+
+        Trials before ``before_index`` are marked stale in the proposer
+        (evicted when ``discount`` is None, noise-inflated by
+        ``1/discount`` otherwise) and its surrogate caches are reset.  The
+        early-termination incumbent is dropped — a pre-drift incumbent
+        would reject every short probe in a degraded environment.
+        ``reprobe`` (typically the incumbent configuration) is queued to
+        be proposed next, re-measuring it under the new regime;
+        ``refresh_initial`` queues that many fresh random exploration
+        points behind it.  Safe to call before the first proposal: the
+        marking is stashed and applied when the proposer is built.
+        """
+        if refresh_initial < 0:
+            raise ValueError("refresh_initial must be non-negative")
+        if self._proposer is not None:
+            self._proposer.apply_retuning(before_index, discount=discount)
+        else:
+            self._pending_retune = (before_index, discount)
+        self._incumbent = None
+        if reprobe is not None:
+            self._reprobe_queue.append(dict(reprobe))
+        self._refresh_remaining += refresh_initial
+
+    def _queued_point(
+        self, space: ConfigSpace, rng: np.random.Generator
+    ) -> Optional[ConfigDict]:
+        """The next queued re-tuning probe, or None when the queue is dry.
+
+        Consumes no RNG when nothing is queued, so sessions that never
+        detect a change-point replay bit-identically.
+        """
+        if self._reprobe_queue:
+            return self._reprobe_queue.pop(0)
+        if self._refresh_remaining > 0:
+            self._refresh_remaining -= 1
+            return space.sample(rng)
+        return None
 
     def _ensure_proposer(self, space: ConfigSpace) -> BayesianProposer:
         if self._proposer is None or self._proposer.space is not space:
@@ -186,6 +238,10 @@ class MLConfigTuner(SearchStrategy):
                 prior_mean=self.prior_mean,
                 seed=self.seed,
             )
+            if self._pending_retune is not None:
+                before_index, discount = self._pending_retune
+                self._proposer.apply_retuning(before_index, discount=discount)
+                self._pending_retune = None
         return self._proposer
 
     def propose(
@@ -194,6 +250,9 @@ class MLConfigTuner(SearchStrategy):
         space: ConfigSpace,
         rng: np.random.Generator,
     ) -> ConfigDict:
+        queued = self._queued_point(space, rng)
+        if queued is not None:
+            return queued
         return self._ensure_proposer(space).propose(history, rng)
 
     def propose_batch(
@@ -220,6 +279,24 @@ class MLConfigTuner(SearchStrategy):
                 if shard is not None:
                     self._shard_weights[shard.name] = shard.cost_multiplier
             proposer.set_shard_weights(self._shard_weights)
+        queued: list = []
+        while len(queued) < k:
+            point = self._queued_point(space, rng)
+            if point is None:
+                break
+            queued.append(point)
+        if queued:
+            if len(queued) == k:
+                return queued
+            rest = constant_liar_batch(
+                proposer,
+                history,
+                rng,
+                k - len(queued),
+                lie=self.batch_lie,
+                shards=shards[len(queued) :] if shards is not None else None,
+            )
+            return queued + rest
         return constant_liar_batch(
             proposer, history, rng, k, lie=self.batch_lie, shards=shards
         )
@@ -241,6 +318,9 @@ class MLConfigTuner(SearchStrategy):
         probes' shards and predicts at the target shard.
         """
         proposer = self._ensure_proposer(space)
+        queued = self._queued_point(space, rng)
+        if queued is not None:
+            return queued
         cost_scale = 1.0
         shard_weight = None
         if shard is not None:

@@ -9,6 +9,16 @@ from repro.mlsim.config import (
     TrainingConfig,
     expert_config,
 )
+from repro.mlsim.drift import (
+    CompositeDrift,
+    DriftSchedule,
+    DriftState,
+    PeriodicDrift,
+    RampDrift,
+    StepDrift,
+    StragglerOnset,
+    parse_drift_spec,
+)
 from repro.mlsim.environment import (
     FIDELITIES,
     OBJECTIVES,
@@ -30,8 +40,16 @@ from repro.mlsim.validation import FidelityPoint, ValidationReport, cross_valida
 __all__ = [
     "ARCHITECTURES",
     "BSP_OVERLAP",
+    "CompositeDrift",
     "DEFAULT_CONFIG",
+    "DriftSchedule",
+    "DriftState",
     "FIDELITIES",
+    "PeriodicDrift",
+    "RampDrift",
+    "StepDrift",
+    "StragglerOnset",
+    "parse_drift_spec",
     "ITERATION_OVERHEAD_S",
     "InfeasibleConfigError",
     "Measurement",

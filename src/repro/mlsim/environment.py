@@ -28,6 +28,7 @@ from typing import Dict, Optional
 from repro.cluster import Cluster, ClusterSpec, PlacementError, place
 from repro.mlsim.allreduce import run_allreduce_probe
 from repro.mlsim.config import TrainingConfig
+from repro.mlsim.drift import DriftSchedule, DriftState
 from repro.mlsim.perf import (
     STARTUP_OVERHEAD_S,
     InfeasibleConfigError,
@@ -88,6 +89,14 @@ class TrainingEnvironment:
         Probability that an otherwise-valid probe crashes anyway (preempted
         VM, OOM-killed daemon, network partition).  Real tuning logs show a
         few percent of such failures; tuners must tolerate them.
+    drift:
+        Optional :class:`~repro.mlsim.drift.DriftSchedule` making the
+        environment non-stationary: per-node speed scaling, workload
+        intensity shifts and failure-rate boosts, all pure functions of
+        the environment's virtual clock (``clock_s``, stamped by the
+        executors before each probe).  ``None`` keeps every code path —
+        and every same-seed trajectory — bit-identical to a static
+        environment.
     """
 
     def __init__(
@@ -100,6 +109,7 @@ class TrainingEnvironment:
         probe_iterations: int = 30,
         noise_cv: float = 0.03,
         transient_failure_rate: float = 0.0,
+        drift: Optional[DriftSchedule] = None,
     ) -> None:
         if fidelity not in FIDELITIES:
             raise ValueError(f"fidelity must be one of {FIDELITIES}, got {fidelity!r}")
@@ -121,6 +131,13 @@ class TrainingEnvironment:
         self.probe_iterations = probe_iterations
         self.noise_cv = noise_cv
         self.transient_failure_rate = transient_failure_rate
+        self.drift = drift
+        # Virtual clock for drift evaluation (executors stamp it with the
+        # session wall-clock before each probe) and a transient per-probe
+        # failure boost (failure-rate spikes from the fleet's injector).
+        # Both are inert while ``drift is None`` / the boost is 0.0.
+        self.clock_s = 0.0
+        self.extra_failure_rate = 0.0
         self.trials_run = 0
         self.total_probe_cost_s = 0.0
         # The cluster's persistent heterogeneity: instantiate once so both
@@ -141,6 +158,16 @@ class TrainingEnvironment:
         """
         self.trials_run = 0
         self.total_probe_cost_s = 0.0
+        self.clock_s = 0.0
+        self.extra_failure_rate = 0.0
+
+    def set_clock(self, t: float) -> None:
+        """Advance the virtual clock the drift schedule is evaluated at.
+
+        Executors stamp the session's current wall-clock here before every
+        probe; without a drift schedule the clock is inert.
+        """
+        self.clock_s = float(t)
 
     def measure(
         self,
@@ -163,20 +190,32 @@ class TrainingEnvironment:
             raise ValueError("probe_iterations must be >= 2")
         trial_index = self.trials_run
         self.trials_run += 1
-        if self.transient_failure_rate > 0:
+        failure_rate = self.transient_failure_rate
+        extra = self.extra_failure_rate
+        if self.drift is not None:
+            extra += self._drift_state().failure_rate_boost
+        if extra > 0:
+            failure_rate = min(failure_rate + extra, 0.999)
+        if failure_rate > 0:
             failure_rng = (
                 RngRegistry(self.seed).fork(trial_index + 1).stream("transient.failure")
             )
-            if failure_rng.random() < self.transient_failure_rate:
+            if failure_rng.random() < failure_rate:
                 # The job died partway through the probe: a random fraction
-                # of the measurement time was wasted on top of startup.
+                # of the measurement time was wasted on top of startup.  A
+                # continuation probe (charge_startup=False) pays only the
+                # post-startup wasted time, matching the success path.
                 wasted = STARTUP_OVERHEAD_S * (1.0 + 2.0 * failure_rng.random())
                 measurement = Measurement(
                     config=config,
                     ok=False,
                     fidelity=self.fidelity,
                     error="transient worker failure (injected)",
-                    probe_cost_s=wasted if charge_startup else wasted / 2,
+                    probe_cost_s=(
+                        wasted
+                        if charge_startup
+                        else max(0.0, wasted - STARTUP_OVERHEAD_S)
+                    ),
                 )
                 self.total_probe_cost_s += measurement.probe_cost_s
                 return measurement
@@ -203,23 +242,35 @@ class TrainingEnvironment:
         self.total_probe_cost_s += measurement.probe_cost_s
         return measurement
 
-    def true_objective(self, config: TrainingConfig) -> Optional[float]:
+    def true_objective(
+        self, config: TrainingConfig, at_s: Optional[float] = None
+    ) -> Optional[float]:
         """Noise-free analytic objective; None for infeasible configs.
 
         Used by the harness to normalise tuner results against the true
-        optimum — not available to tuners.
+        optimum — not available to tuners.  Under a drift schedule the
+        objective is time-varying; ``at_s`` evaluates it at a specific
+        virtual timestamp (default: the environment's current clock).
         """
         config = config.canonical()
         try:
             perf = estimate(
-                config, self.workload, self.cluster, self._worker_speeds(config)
+                config,
+                self.workload,
+                self.cluster,
+                self._worker_speeds(config, at_s=at_s),
             )
         except InfeasibleConfigError:
             return None
+        throughput = perf.throughput
+        if self.drift is not None:
+            state = self._drift_state(at_s)
+            if state.intensity != 1.0:
+                throughput = throughput / state.intensity
         if self.objective_name == "throughput":
-            return perf.throughput
+            return throughput
         return -self._tta(
-            perf.throughput,
+            throughput,
             perf.mean_staleness,
             config.global_batch,
             config.compression_ratio,
@@ -227,7 +278,14 @@ class TrainingEnvironment:
 
     # -- internals -----------------------------------------------------------
 
-    def _worker_speeds(self, config: TrainingConfig):
+    def _drift_state(self, at_s: Optional[float] = None) -> DriftState:
+        """The drift condition at ``at_s`` (default: the current clock)."""
+        if self.drift is None:
+            return DriftState()
+        t = self.clock_s if at_s is None else float(at_s)
+        return self.drift.state_at(t, self.cluster.total_nodes)
+
+    def _worker_speeds(self, config: TrainingConfig, at_s: Optional[float] = None):
         try:
             placement = place(
                 self.cluster.total_nodes,
@@ -237,7 +295,15 @@ class TrainingEnvironment:
             )
         except PlacementError as exc:
             raise InfeasibleConfigError(str(exc)) from exc
-        return [self._speed_factors[n] for n in placement.worker_nodes]
+        if self.drift is None:
+            return [self._speed_factors[n] for n in placement.worker_nodes]
+        state = self._drift_state(at_s)
+        if state.is_identity:
+            return [self._speed_factors[n] for n in placement.worker_nodes]
+        return [
+            self._speed_factors[n] * state.node_scale(n)
+            for n in placement.worker_nodes
+        ]
 
     def _noise(self, trial_index: int, iterations: int) -> float:
         if self.noise_cv <= 0:
@@ -270,6 +336,12 @@ class TrainingEnvironment:
         trial_index: int,
         iterations: int,
     ) -> Measurement:
+        if self.drift is not None:
+            intensity = self._drift_state().intensity
+            if intensity != 1.0:
+                # A heavier workload regime: the same hardware sustains
+                # proportionally fewer samples/s.
+                throughput = throughput / intensity
         throughput *= self._noise(trial_index, iterations)
         tta = self._tta(throughput, staleness, config.global_batch, config.compression_ratio)
         probe_cost = STARTUP_OVERHEAD_S + (
@@ -316,9 +388,17 @@ class TrainingEnvironment:
                 cluster, config, self.workload, iterations, probe_rng
             )
         mean_gap, _ = trace.iteration_time_stats()
+        throughput = trace.throughput
+        if self.drift is not None:
+            # The discrete-event simulators know nothing of drift; apply
+            # the schedule's mean per-node speed scale as a mean-field
+            # correction (the analytic fidelity resolves it per node).
+            scale = self._drift_state().mean_scale()
+            if scale != 1.0:
+                throughput = throughput * scale
         return self._finish(
             config,
-            trace.throughput,
+            throughput,
             mean_gap,
             trace.mean_staleness,
             trial_index,
@@ -335,4 +415,9 @@ class TrainingEnvironment:
             "seed": self.seed,
             "trials_run": self.trials_run,
             "probe_cost_hours": self.total_probe_cost_s / 3600.0,
+            **(
+                {"drift": self.drift.describe(), "clock_s": self.clock_s}
+                if self.drift is not None
+                else {}
+            ),
         }
