@@ -70,6 +70,7 @@ PREFERRED_SECTION_ORDER = (
     "fleet",
     "service",
     "drift",
+    "sweep",
 )
 _META_KEYS = {"schema", "quick", "config"}
 

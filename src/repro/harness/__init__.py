@@ -9,6 +9,7 @@ from repro.harness.comparison import (
 )
 from repro.harness.optimum import clear_optimum_cache, estimate_optimum
 from repro.harness.runner import fork_available, resolve_n_jobs, run_cells
+from repro.harness.sweep import SweepCell, run_sweep, seed_spread_stats
 from repro.harness.tables import (
     ascii_chart,
     render_series,
@@ -20,6 +21,7 @@ from repro.harness.tables import (
 __all__ = [
     "Comparison",
     "StrategyOutcome",
+    "SweepCell",
     "ascii_chart",
     "clear_optimum_cache",
     "compare_strategies",
@@ -30,7 +32,9 @@ __all__ = [
     "render_table",
     "resolve_n_jobs",
     "run_cells",
+    "run_sweep",
     "save_csv",
+    "seed_spread_stats",
     "standard_strategy_set",
     "to_csv",
 ]

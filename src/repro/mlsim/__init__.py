@@ -29,10 +29,14 @@ from repro.mlsim.perf import (
     BSP_OVERLAP,
     ITERATION_OVERHEAD_S,
     STARTUP_OVERHEAD_S,
+    BatchPerfEstimate,
     InfeasibleConfigError,
+    PerfColumns,
     PerfEstimate,
     check_feasible,
     estimate,
+    estimate_batch,
+    estimate_columns,
 )
 from repro.mlsim.ps import TrainingTrace, run_ps_probe
 from repro.mlsim.validation import FidelityPoint, ValidationReport, cross_validate
@@ -40,6 +44,7 @@ from repro.mlsim.validation import FidelityPoint, ValidationReport, cross_valida
 __all__ = [
     "ARCHITECTURES",
     "BSP_OVERLAP",
+    "BatchPerfEstimate",
     "CompositeDrift",
     "DEFAULT_CONFIG",
     "DriftSchedule",
@@ -55,6 +60,7 @@ __all__ = [
     "Measurement",
     "OBJECTIVES",
     "PRECISIONS",
+    "PerfColumns",
     "PerfEstimate",
     "STARTUP_OVERHEAD_S",
     "SYNC_MODES",
@@ -66,6 +72,8 @@ __all__ = [
     "check_feasible",
     "cross_validate",
     "estimate",
+    "estimate_batch",
+    "estimate_columns",
     "expert_config",
     "run_allreduce_probe",
     "run_ps_probe",

@@ -130,14 +130,21 @@ class TrainingConfig:
         """
         updates: Dict[str, Any] = {}
         if not self.uses_ps:
-            updates["num_ps"] = 1
-            updates["colocate_ps"] = False
-        if self.sync_mode != "ssp":
-            updates["staleness_bound"] = 0 if self.sync_mode == "bsp" else 4
-        if not self.uses_ps:
             # Ring all-reduce is inherently synchronous.
-            updates["sync_mode"] = "bsp"
-            updates["staleness_bound"] = 0
+            if self.num_ps != 1:
+                updates["num_ps"] = 1
+            if self.colocate_ps:
+                updates["colocate_ps"] = False
+            if self.sync_mode != "bsp":
+                updates["sync_mode"] = "bsp"
+            if self.staleness_bound != 0:
+                updates["staleness_bound"] = 0
+        elif self.sync_mode != "ssp":
+            bound = 0 if self.sync_mode == "bsp" else 4
+            if self.staleness_bound != bound:
+                updates["staleness_bound"] = bound
+        # Already-canonical configs return self: the no-update path is hot
+        # (every probe and batch evaluation re-canonicalises defensively).
         return replace(self, **updates) if updates else self
 
     def to_dict(self) -> Dict[str, Any]:

@@ -22,8 +22,11 @@ response-surface experiments).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.cluster import Cluster, ClusterSpec, PlacementError, place
 from repro.mlsim.allreduce import run_allreduce_probe
@@ -32,7 +35,10 @@ from repro.mlsim.drift import DriftSchedule, DriftState
 from repro.mlsim.perf import (
     STARTUP_OVERHEAD_S,
     InfeasibleConfigError,
+    PerfColumns,
     estimate,
+    estimate_batch,
+    estimate_columns,
 )
 from repro.mlsim.ps import run_ps_probe
 from repro.sim import RngRegistry, Simulator
@@ -242,6 +248,99 @@ class TrainingEnvironment:
         self.total_probe_cost_s += measurement.probe_cost_s
         return measurement
 
+    def measure_batch(
+        self,
+        configs: Sequence[TrainingConfig],
+        probe_iterations: Optional[int] = None,
+        charge_startup: bool = True,
+    ) -> List[Measurement]:
+        """Probe many configurations in one call.
+
+        Identical to ``[self.measure(c, ...) for c in configs]`` — same
+        trial-index assignment, same per-trial noise and failure streams
+        (they are keyed by trial index, not by call order), same
+        measurements bit-for-bit — but the analytic fidelity evaluates the
+        whole batch through :func:`~repro.mlsim.perf.estimate_batch`
+        instead of one closed-form solve per probe.  The event fidelity
+        has no batched form and falls back to the scalar loop.
+        """
+        configs = [config.canonical() for config in configs]
+        iterations = (
+            probe_iterations if probe_iterations is not None else self.probe_iterations
+        )
+        if iterations < 2:
+            raise ValueError("probe_iterations must be >= 2")
+        if self.fidelity != "analytic":
+            return [
+                self.measure(config, probe_iterations, charge_startup)
+                for config in configs
+            ]
+        batch = estimate_batch(
+            configs,
+            self.workload,
+            self.cluster,
+            node_speed_factors=self._node_speed_factors(),
+        )
+        results: List[Measurement] = []
+        for i, config in enumerate(configs):
+            trial_index = self.trials_run
+            self.trials_run += 1
+            failure_rate = self.transient_failure_rate
+            extra = self.extra_failure_rate
+            if self.drift is not None:
+                extra += self._drift_state().failure_rate_boost
+            if extra > 0:
+                failure_rate = min(failure_rate + extra, 0.999)
+            if failure_rate > 0:
+                failure_rng = (
+                    RngRegistry(self.seed)
+                    .fork(trial_index + 1)
+                    .stream("transient.failure")
+                )
+                if failure_rng.random() < failure_rate:
+                    wasted = STARTUP_OVERHEAD_S * (1.0 + 2.0 * failure_rng.random())
+                    measurement = Measurement(
+                        config=config,
+                        ok=False,
+                        fidelity=self.fidelity,
+                        error="transient worker failure (injected)",
+                        probe_cost_s=(
+                            wasted
+                            if charge_startup
+                            else max(0.0, wasted - STARTUP_OVERHEAD_S)
+                        ),
+                    )
+                    self.total_probe_cost_s += measurement.probe_cost_s
+                    results.append(measurement)
+                    continue
+            if batch.ok[i]:
+                measurement = self._finish(
+                    config,
+                    float(batch.throughput[i]),
+                    float(batch.iteration_time_s[i]),
+                    float(batch.mean_staleness[i]),
+                    trial_index,
+                    iterations,
+                )
+                if not charge_startup:
+                    measurement = replace(
+                        measurement,
+                        probe_cost_s=max(
+                            0.0, measurement.probe_cost_s - STARTUP_OVERHEAD_S
+                        ),
+                    )
+            else:
+                measurement = Measurement(
+                    config=config,
+                    ok=False,
+                    fidelity=self.fidelity,
+                    error=self._infeasible_error(config),
+                    probe_cost_s=STARTUP_OVERHEAD_S if charge_startup else 0.0,
+                )
+            self.total_probe_cost_s += measurement.probe_cost_s
+            results.append(measurement)
+        return results
+
     def true_objective(
         self, config: TrainingConfig, at_s: Optional[float] = None
     ) -> Optional[float]:
@@ -276,6 +375,57 @@ class TrainingEnvironment:
             config.compression_ratio,
         )
 
+    def true_objective_batch(
+        self, configs: Sequence[TrainingConfig], at_s: Optional[float] = None
+    ) -> np.ndarray:
+        """Noise-free objectives for a whole batch; NaN marks infeasible.
+
+        The vectorised twin of :meth:`true_objective`: feasible rows are
+        bit-identical to the scalar call at the same ``at_s``, infeasible
+        rows come back NaN (the array analogue of the scalar ``None``).
+        This is what lets :func:`~repro.harness.estimate_optimum` evaluate
+        thousands of candidates per call instead of one.
+
+        No canonicalisation pass: :func:`~repro.mlsim.perf.estimate_batch`
+        accepts raw configs, and the objective terms read downstream
+        (``global_batch``, ``compression_ratio``) are canonicalisation
+        invariants.
+        """
+        return self.true_objective_columns(PerfColumns.from_configs(configs), at_s)
+
+    def true_objective_columns(
+        self, columns: PerfColumns, at_s: Optional[float] = None
+    ) -> np.ndarray:
+        """:meth:`true_objective_batch` on a columnar batch.
+
+        The zero-object entry point: callers that already hold knob
+        columns (:func:`~repro.harness.estimate_optimum` stacking encoded
+        candidate matrices) skip per-row ``TrainingConfig`` construction
+        entirely.  Same contract — feasible rows bit-identical to the
+        scalar path, NaN elsewhere.
+        """
+        batch = estimate_columns(
+            columns,
+            self.workload,
+            self.cluster,
+            node_speed_factors=self._node_speed_factors(at_s),
+        )
+        throughput = batch.throughput
+        if self.drift is not None:
+            state = self._drift_state(at_s)
+            if state.intensity != 1.0:
+                throughput = throughput / state.intensity
+        if self.objective_name == "throughput":
+            values = throughput
+        else:
+            values = -self._tta_batch(
+                throughput,
+                batch.mean_staleness,
+                columns.global_batch,
+                columns.compression_ratio,
+            )
+        return np.where(batch.ok, values, np.nan)
+
     # -- internals -----------------------------------------------------------
 
     def _drift_state(self, at_s: Optional[float] = None) -> DriftState:
@@ -304,6 +454,74 @@ class TrainingEnvironment:
             self._speed_factors[n] * state.node_scale(n)
             for n in placement.worker_nodes
         ]
+
+    def _node_speed_factors(self, at_s: Optional[float] = None) -> np.ndarray:
+        """Per-*node* speed factors at ``at_s`` (drift included).
+
+        The batched estimator indexes by node id because different rows
+        place their workers on different nodes; ``_worker_speeds`` is the
+        same data gathered for one config's placement.
+        """
+        if self.drift is None:
+            return np.asarray(self._speed_factors, dtype=float)
+        state = self._drift_state(at_s)
+        if state.is_identity:
+            return np.asarray(self._speed_factors, dtype=float)
+        return np.asarray(
+            [
+                factor * state.node_scale(node)
+                for node, factor in enumerate(self._speed_factors)
+            ],
+            dtype=float,
+        )
+
+    def _infeasible_error(self, config: TrainingConfig) -> str:
+        """The scalar path's error message for an infeasible config.
+
+        The batch mask only says *that* a row is infeasible; the message
+        (placement vs memory vs batch floor) comes from replaying the
+        scalar checks, which raise before any heavy work.
+        """
+        try:
+            estimate(config, self.workload, self.cluster, self._worker_speeds(config))
+        except InfeasibleConfigError as exc:
+            return str(exc)
+        raise RuntimeError(
+            "estimate_batch marked a row infeasible that the scalar model accepts"
+        )
+
+    def _tta_batch(
+        self,
+        throughput: np.ndarray,
+        staleness: np.ndarray,
+        global_batch: np.ndarray,
+        compression_ratio: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised :meth:`_tta`, bit-identical per feasible row.
+
+        Replays ``ConvergenceProfile.iterations_to_target``'s operation
+        order over arrays; the compression penalty's ``log`` is evaluated
+        with ``math.log`` per *unique* ratio (a handful of categorical
+        levels) so the transcendental matches the scalar path exactly.
+        """
+        convergence = self.workload.model.convergence
+        scale = convergence.ref_batch / global_batch
+        saturation = (1.0 + global_batch / convergence.critical_batch) / (
+            1.0 + convergence.ref_batch / convergence.critical_batch
+        )
+        staleness_term = 1.0 + convergence.staleness_penalty * staleness
+        compression_term = np.ones(len(global_batch))
+        for ratio in np.unique(compression_ratio):
+            if ratio < 1.0:
+                compression_term[compression_ratio == ratio] = (
+                    1.0 + convergence.compression_sensitivity * math.log(1.0 / ratio)
+                )
+        iters = (
+            convergence.base_iters * scale * saturation * staleness_term
+        ) * compression_term
+        with np.errstate(invalid="ignore", divide="ignore"):
+            tta = STARTUP_OVERHEAD_S + iters * global_batch / throughput
+        return np.where(throughput > 0, tta, float("inf"))
 
     def _noise(self, trial_index: int, iterations: int) -> float:
         if self.noise_cv <= 0:

@@ -28,11 +28,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Sequence
+
+import numpy as np
 
 from repro.cluster import ClusterSpec, PlacementError, place
-from repro.mlsim.config import TrainingConfig
-from repro.mlsim.pipeline import effective_iteration_time, iteration_input_time
+from repro.mlsim.config import DEFAULT_CONFIG, _PRECISION_FACTOR, TrainingConfig
+from repro.mlsim.pipeline import (
+    DECODE_BYTES_PER_CORE_PER_SEC,
+    STORAGE_BYTES_PER_SEC,
+    effective_iteration_time,
+    iteration_input_time,
+)
 from repro.workloads import Workload
 
 # Fixed per-iteration overhead: kernel launches, queue hops, framework
@@ -348,3 +355,440 @@ def _estimate_allreduce(
         comm_time_s=comm_effective,
         bottleneck="compute" if max_comp >= comm_effective else "ring",
     )
+
+
+@dataclass(frozen=True)
+class BatchPerfEstimate:
+    """Columnar :class:`PerfEstimate` for a batch of configurations.
+
+    Arrays are aligned with the input ``configs`` sequence.  Infeasible
+    rows have ``ok=False`` and NaN in every numeric column (``None`` in
+    ``bottleneck``); feasible rows are bit-identical to the corresponding
+    scalar :func:`estimate` call — the batch engine replays the scalar
+    model's exact operation order, it does not approximate it.
+    """
+
+    ok: np.ndarray
+    iteration_time_s: np.ndarray
+    throughput: np.ndarray
+    mean_staleness: np.ndarray
+    compute_time_s: np.ndarray
+    comm_time_s: np.ndarray
+    bottleneck: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.ok.shape[0])
+
+    def row(self, index: int) -> PerfEstimate:
+        """The scalar estimate for one row; raises for infeasible rows."""
+        if not self.ok[index]:
+            raise InfeasibleConfigError(f"batch row {index} is infeasible")
+        return PerfEstimate(
+            iteration_time_s=float(self.iteration_time_s[index]),
+            throughput=float(self.throughput[index]),
+            mean_staleness=float(self.mean_staleness[index]),
+            compute_time_s=float(self.compute_time_s[index]),
+            comm_time_s=float(self.comm_time_s[index]),
+            bottleneck=str(self.bottleneck[index]),
+        )
+
+
+@dataclass(frozen=True)
+class PerfColumns:
+    """Columnar view of a configuration batch: one typed array per knob.
+
+    The batch engine's native input.  :meth:`from_configs` extracts the
+    arrays from :class:`TrainingConfig` objects; :meth:`from_knob_columns`
+    builds them straight from config-space column batches (dict of arrays)
+    without ever materialising per-row config objects — that is what lets
+    :func:`~repro.harness.estimate_optimum` score thousands of encoded
+    candidates with zero per-candidate Python cost.
+
+    Derived columns (``uses_ps``, ``grad_factor``, ``global_batch``)
+    replay the corresponding :class:`TrainingConfig` properties exactly.
+    """
+
+    num_workers: np.ndarray
+    num_ps: np.ndarray
+    colocate_ps: np.ndarray
+    sync_mode: np.ndarray
+    staleness_bound: np.ndarray
+    batch_per_worker: np.ndarray
+    intra_op_threads: np.ndarray
+    io_threads: np.ndarray
+    prefetch_batches: np.ndarray
+    uses_ps: np.ndarray
+    grad_factor: np.ndarray
+    global_batch: np.ndarray
+    compression_ratio: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.num_workers.shape[0])
+
+    @classmethod
+    def from_configs(cls, configs: Sequence[TrainingConfig]) -> "PerfColumns":
+        count = len(configs)
+
+        def ints(values) -> np.ndarray:
+            return np.fromiter(values, dtype=np.int64, count=count)
+
+        num_workers = ints(c.num_workers for c in configs)
+        batch_per_worker = ints(c.batch_per_worker for c in configs)
+        sync = np.empty(count, dtype=object)
+        sync[:] = [c.sync_mode for c in configs]
+        return cls(
+            num_workers=num_workers,
+            num_ps=ints(c.num_ps for c in configs),
+            colocate_ps=np.fromiter(
+                (c.colocate_ps for c in configs), dtype=bool, count=count
+            ),
+            sync_mode=sync,
+            staleness_bound=ints(c.staleness_bound for c in configs),
+            batch_per_worker=batch_per_worker,
+            intra_op_threads=ints(c.intra_op_threads for c in configs),
+            io_threads=ints(c.io_threads for c in configs),
+            prefetch_batches=ints(c.prefetch_batches for c in configs),
+            uses_ps=np.fromiter((c.uses_ps for c in configs), dtype=bool, count=count),
+            grad_factor=np.fromiter(
+                (c.gradient_bytes_factor for c in configs), dtype=float, count=count
+            ),
+            global_batch=num_workers * batch_per_worker,
+            compression_ratio=np.fromiter(
+                (c.compression_ratio for c in configs), dtype=float, count=count
+            ),
+        )
+
+    @classmethod
+    def from_knob_columns(cls, columns: Dict[str, np.ndarray], count: int) -> "PerfColumns":
+        """Build from config-space knob columns (name -> array of values).
+
+        Knobs a space does not search over fall back to the
+        :data:`~repro.mlsim.config.DEFAULT_CONFIG` value, mirroring
+        ``TrainingConfig.from_dict`` on a partial dict.  Values are assumed
+        space-validated; no per-row checks are re-run.
+        """
+
+        def col(name: str, dtype) -> np.ndarray:
+            if name in columns:
+                return np.asarray(columns[name], dtype=dtype)
+            return np.full(count, getattr(DEFAULT_CONFIG, name), dtype=dtype)
+
+        if "architecture" in columns:
+            arch = np.asarray(columns["architecture"])
+            uses_ps = arch == "ps"
+        else:
+            uses_ps = np.full(count, DEFAULT_CONFIG.uses_ps, dtype=bool)
+        if "sync_mode" in columns:
+            sync = np.asarray(columns["sync_mode"])
+        else:
+            sync = np.full(count, DEFAULT_CONFIG.sync_mode, dtype=object)
+        compression = col("compression_ratio", float)
+        if "gradient_precision" in columns:
+            precision = np.asarray(columns["gradient_precision"])
+            factor = np.empty(count)
+            for value in set(precision.tolist()):
+                factor[precision == value] = _PRECISION_FACTOR[value]
+        else:
+            factor = np.full(count, _PRECISION_FACTOR[DEFAULT_CONFIG.gradient_precision])
+        num_workers = col("num_workers", np.int64)
+        batch_per_worker = col("batch_per_worker", np.int64)
+        return cls(
+            num_workers=num_workers,
+            num_ps=col("num_ps", np.int64),
+            colocate_ps=col("colocate_ps", bool),
+            sync_mode=sync,
+            staleness_bound=col("staleness_bound", np.int64),
+            batch_per_worker=batch_per_worker,
+            intra_op_threads=col("intra_op_threads", np.int64),
+            io_threads=col("io_threads", np.int64),
+            prefetch_batches=col("prefetch_batches", np.int64),
+            uses_ps=uses_ps,
+            grad_factor=factor * compression,
+            global_batch=num_workers * batch_per_worker,
+            compression_ratio=compression,
+        )
+
+
+def estimate_batch(
+    configs: Sequence[TrainingConfig],
+    workload: Workload,
+    cluster: ClusterSpec,
+    node_speed_factors: Sequence[float] | None = None,
+) -> BatchPerfEstimate:
+    """Closed-form estimates for a whole batch of configurations.
+
+    The vectorised twin of :func:`estimate`; see :func:`estimate_columns`
+    for the engine itself.  Feasible rows are **bit-identical** to the
+    per-config scalar path (property-tested).
+
+    ``node_speed_factors`` has one entry per *cluster node* (default all
+    ones) — unlike scalar :func:`estimate`, which takes per-worker factors,
+    because different rows place their workers on different nodes.  Row
+    ``i`` matches ``estimate(configs[i], ..., speed_factors=[factors[n]
+    for n in placement.worker_nodes])``.
+
+    Infeasible rows come back as ``ok=False`` with NaN metrics instead of
+    raising, so one infeasible candidate cannot poison a 3000-row batch.
+
+    Inputs need not be canonical: the sync-mode/architecture selection
+    only ever reads the fields :meth:`TrainingConfig.canonical` would
+    keep (all-reduce rows ignore PS knobs, BSP/ASP rows ignore the
+    staleness bound), so canonicalisation is a no-op for the estimate.
+    """
+    return estimate_columns(
+        PerfColumns.from_configs(configs), workload, cluster, node_speed_factors
+    )
+
+
+def estimate_columns(
+    cols: PerfColumns,
+    workload: Workload,
+    cluster: ClusterSpec,
+    node_speed_factors: Sequence[float] | None = None,
+) -> BatchPerfEstimate:
+    """The batch performance engine, operating on columnar inputs.
+
+    Fully vectorised over rows *and* worker ranks: feasibility is checked
+    as array masks, and the compute/push/pull/ring terms are evaluated on
+    a ``(rows, max_workers)`` padded node gather for all sync modes at
+    once.  Placement never calls :func:`~repro.cluster.place` per row —
+    node order is ascending, so a row's worker nodes are the closed-form
+    range ``[num_ps, num_ps + num_workers)`` (dedicated PS) or
+    ``[0, num_workers)`` (colocated / all-reduce), and PS nodes are
+    ``[0, num_ps)``; every row sharing a topology reuses the same node
+    attribute tables through the gather.
+
+    Bit-parity with scalar :func:`estimate` is maintained by replaying its
+    operation order exactly: per-worker sums accumulate rank-by-rank in
+    placement order (never ``np.sum``'s pairwise tree), and the
+    transcendentals (straggler tail, barrier log) are computed with
+    ``math.*`` per distinct worker count, never with vectorised libm
+    (which may differ in the last ulp).
+    """
+    count = len(cols)
+    total_nodes = cluster.total_nodes
+    if node_speed_factors is None:
+        factors = np.ones(total_nodes)
+    else:
+        factors = np.asarray(node_speed_factors, dtype=float)
+        if factors.shape != (total_nodes,):
+            raise ValueError(
+                f"need {total_nodes} node speed factors, got {factors.shape}"
+            )
+
+    model = workload.model
+    workers = cols.num_workers
+    batch_pw = cols.batch_per_worker
+    io = cols.io_threads
+
+    # -- vectorised check_feasible ---------------------------------------
+    ps_eff = np.where(cols.uses_ps, cols.num_ps, 0)
+    coloc_eff = cols.uses_ps & cols.colocate_ps
+    needed_nodes = np.where(coloc_eff, np.maximum(ps_eff, workers), ps_eff + workers)
+    worker_mem = min(spec.mem_gb for spec, _ in cluster.pools) * 1e9
+    min_cores = min(spec.cores for spec, _ in cluster.pools)
+    mem_needed = 3.0 * model.param_bytes + batch_pw * model.activation_bytes_per_sample
+    ok = (
+        (workers >= 1)
+        & (needed_nodes <= total_nodes)
+        & (mem_needed <= worker_mem)
+        & (batch_pw >= model.min_batch_per_worker)
+        & (io < min_cores)
+    )
+
+    nan = np.full(count, np.nan)
+    out = BatchPerfEstimate(
+        ok=ok,
+        iteration_time_s=nan.copy(),
+        throughput=nan.copy(),
+        mean_staleness=nan.copy(),
+        compute_time_s=nan.copy(),
+        comm_time_s=nan.copy(),
+        bottleneck=np.full(count, None, dtype=object),
+    )
+    feas = np.nonzero(ok)[0]
+    if feas.size == 0:
+        return out
+
+    # -- compressed feasible subset + per-node attribute tables ----------
+    f_w = workers[feas]
+    f_ps = ps_eff[feas]
+    f_coloc = coloc_eff[feas]
+    f_uses_ps = cols.uses_ps[feas]
+    f_batch = batch_pw[feas]
+    f_io = io[feas]
+    f_intra = cols.intra_op_threads[feas]
+    f_prefetch = cols.prefetch_batches[feas]
+    f_bound = cols.staleness_bound[feas]
+    f_sync = cols.sync_mode[feas]
+    f_grad = model.param_bytes * cols.grad_factor[feas]
+    f_gb = cols.global_batch[feas]
+    f_flops = model.flops_per_sample * f_batch
+
+    node_specs = cluster.node_specs()
+    gflops_by_node = np.array([spec.gflops for spec in node_specs])
+    cores_by_node = np.array([spec.cores for spec in node_specs], dtype=np.int64)
+    nic_by_node = np.array([spec.nic_bytes_per_sec for spec in node_specs])
+    # min NIC over the PS prefix [0, num_ps) — min is exactly associative,
+    # so a prefix-scan matches the scalar Python min().
+    nic_prefix_min = np.minimum.accumulate(nic_by_node)
+    latency = cluster.latency_s
+    jitter_cv = cluster.jitter_cv
+
+    # Input pipeline: node-spec independent.
+    bytes_per_sample = workload.dataset.bytes_per_sample
+    storage_rate = STORAGE_BYTES_PER_SEC / bytes_per_sample
+    decode_rate = f_io * DECODE_BYTES_PER_CORE_PER_SEC / bytes_per_sample
+    input_rate = np.minimum(storage_rate, decode_rate)
+    input_time = np.zeros(feas.size)
+    fed = f_io > 0
+    input_time[fed] = f_batch[fed] / input_rate[fed]
+
+    # -- per-worker compute times on a (rows, max_workers) gather --------
+    # Worker rank r of a row sits on node offset + r (see docstring); the
+    # pad beyond a row's worker count gathers clipped-but-valid node ids,
+    # producing finite garbage that every reduction below masks out.
+    offset = np.where(f_uses_ps & ~f_coloc, f_ps, 0)
+    max_w = int(f_w.max())
+    ranks = np.arange(max_w)
+    node_ids = np.minimum(offset[:, None] + ranks[None, :], total_nodes - 1)
+    active = ranks[None, :] < f_w[:, None]
+
+    base_rate = gflops_by_node[node_ids] * 1e9 * factors[node_ids]
+    g_cores = cores_by_node[node_ids]
+    available = g_cores - f_io[:, None]
+    intra2 = f_intra[:, None]
+    threads = np.where((intra2 == 0) | (intra2 >= available), available, intra2)
+    fraction = threads / g_cores
+    scaled = base_rate * fraction * (1.0 + 0.1 * (1.0 - fraction))
+    rate = np.where(threads >= g_cores, base_rate, scaled)
+    train_time = f_flops[:, None] / rate + ITERATION_OVERHEAD_S
+    in2 = input_time[:, None]
+    eff = np.where(
+        in2 <= 0.0,
+        train_time,
+        np.where(
+            f_prefetch[:, None] >= 1, np.maximum(train_time, in2), train_time + in2
+        ),
+    )
+
+    sum_comp = np.zeros(feas.size)
+    for r in range(max_w):  # scalar sum() order, not pairwise
+        sum_comp = np.where(active[:, r], sum_comp + eff[:, r], sum_comp)
+    mean_comp = sum_comp / f_w
+    tail_by_w = np.array(
+        [1.0] + [_straggler_tail_factor(w, jitter_cv) for w in range(1, max_w + 1)]
+    )
+    max_comp = np.where(active, eff, -np.inf).max(axis=1) * tail_by_w[f_w]
+    worker_nic = np.where(active, nic_by_node[node_ids], np.inf).min(axis=1)
+
+    # -- ring all-reduce rows --------------------------------------------
+    ar = np.nonzero(~f_uses_ps)[0]
+    if ar.size:
+        a_w = f_w[ar]
+        a_grad = f_grad[ar]
+        steps = 2 * (a_w - 1)
+        with np.errstate(invalid="ignore"):
+            comm = np.where(
+                a_w == 1, 0.0, steps * (a_grad / a_w / worker_nic[ar] + latency)
+            )
+        comm_effective = comm * (1.0 - BSP_OVERLAP)
+        iter_time = max_comp[ar] + comm_effective
+        idx = feas[ar]
+        out.iteration_time_s[idx] = iter_time
+        out.throughput[idx] = f_gb[ar] / iter_time
+        out.mean_staleness[idx] = 0.0
+        out.compute_time_s[idx] = max_comp[ar]
+        out.comm_time_s[idx] = comm_effective
+        out.bottleneck[idx] = np.where(
+            max_comp[ar] >= comm_effective, "compute", "ring"
+        ).astype(object)
+
+    # -- parameter-server rows: all three sync modes ---------------------
+    ps = np.nonzero(f_uses_ps)[0]
+    if not ps.size:
+        return out
+    p_w = f_w[ps]
+    p_ps = f_ps[ps]
+    p_grad = f_grad[ps]
+    p_gb = f_gb[ps]
+    p_batch = f_batch[ps]
+    p_coloc = f_coloc[ps]
+    p_max_comp = max_comp[ps]
+    p_nic_w = worker_nic[ps]
+    p_nic_ps = nic_prefix_min[p_ps - 1]
+    # Colocation: pulls and parameter egress share the node NIC.
+    p_nic_w = np.where(p_coloc, p_nic_w * 0.5, p_nic_w)
+    p_nic_ps = np.where(p_coloc, p_nic_ps * 0.5, p_nic_ps)
+    shard_bytes = p_grad / p_ps
+
+    push_ps_limited = p_w * shard_bytes / p_nic_ps
+    push_worker_limited = p_grad / p_nic_w
+    push_time = np.maximum(push_ps_limited, push_worker_limited) + latency
+    comm_sync = (push_time + push_time) * (1.0 - BSP_OVERLAP)
+    barrier_by_w = np.array(
+        [latency * max(1.0, math.log2(max(2, w))) for w in range(max_w + 1)]
+    )
+    barrier = barrier_by_w[p_w]
+    bsp_iter = p_max_comp + comm_sync + barrier
+    bsp_throughput = p_gb / bsp_iter
+
+    solo_comm = 2.0 * (shard_bytes * p_ps / p_nic_w + latency)
+    overlap_comm = solo_comm * (1.0 - BSP_OVERLAP)
+    nic_term = 1.0 / (2.0 * p_grad / p_nic_w)
+    eff_ps = eff[ps]
+    act_ps = active[ps]
+    compute_rate = np.zeros(ps.size)
+    worker_nic_rate = np.zeros(ps.size)
+    for r in range(max_w):  # scalar sum() order again
+        term = 1.0 / (eff_ps[:, r] + overlap_comm)
+        compute_rate = np.where(act_ps[:, r], compute_rate + term, compute_rate)
+        worker_nic_rate = np.where(
+            act_ps[:, r], worker_nic_rate + nic_term, worker_nic_rate
+        )
+    ps_nic_rate = p_nic_ps * p_ps / p_grad
+    asp_rate = np.minimum(np.minimum(compute_rate, worker_nic_rate), ps_nic_rate)
+    asp_throughput = asp_rate * p_batch
+    asp_staleness = np.maximum(0.0, p_w - 1.0)
+
+    p_bound = f_bound[ps]
+    blend = p_bound / (p_bound + 2.0)
+    ssp_throughput = bsp_throughput + (asp_throughput - bsp_throughput) * blend
+    ssp_staleness = np.where(
+        p_bound > 0, np.minimum(asp_staleness, p_bound.astype(float)) * blend, 0.0
+    )
+
+    sync_p = f_sync[ps]
+    bsp_mask = sync_p == "bsp"
+    asp_mask = sync_p == "asp"
+    ssp_mask = sync_p == "ssp"
+    idx = feas[ps]
+    out.iteration_time_s[idx] = np.where(
+        bsp_mask,
+        bsp_iter,
+        np.where(asp_mask, p_w / asp_rate, p_gb / ssp_throughput),
+    )
+    out.throughput[idx] = np.where(
+        bsp_mask, bsp_throughput, np.where(asp_mask, asp_throughput, ssp_throughput)
+    )
+    out.mean_staleness[idx] = np.where(
+        bsp_mask, 0.0, np.where(asp_mask, asp_staleness, ssp_staleness)
+    )
+    out.compute_time_s[idx] = np.where(bsp_mask, p_max_comp, mean_comp[ps])
+    out.comm_time_s[idx] = np.where(
+        bsp_mask, comm_sync + barrier, np.where(asp_mask, solo_comm, comm_sync)
+    )
+    bottleneck = np.empty(ps.size, dtype=object)
+    bottleneck[bsp_mask] = np.where(
+        p_max_comp >= comm_sync,
+        "compute",
+        np.where(push_ps_limited >= push_worker_limited, "ps-nic", "worker-nic"),
+    ).astype(object)[bsp_mask]
+    bottleneck[asp_mask] = np.where(
+        asp_rate == compute_rate,
+        "compute",
+        np.where(asp_rate == ps_nic_rate, "ps-nic", "worker-nic"),
+    ).astype(object)[asp_mask]
+    bottleneck[ssp_mask] = "mixed"
+    out.bottleneck[idx] = bottleneck
+    return out

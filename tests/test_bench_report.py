@@ -50,6 +50,18 @@ class TestRender:
         assert "## service" in text
         assert text.index("## large") < text.index("## service")
 
+    def test_sweep_section_renders_last_in_preferred_order(self, results):
+        results["drift"] = {"seed=0": {"recovery_speedup": 10.96}}
+        results["sweep"] = {
+            "optimum": {"scalar_ms": 331.6, "batch_ms": 47.8, "speedup": 6.93},
+            "demo:resnet:random": {"median": 0.48, "iqr": 0.06},
+        }
+        assert "sweep" in bench_report.PREFERRED_SECTION_ORDER
+        text = bench_report.render(results)
+        assert "## sweep" in text
+        assert text.index("## drift") < text.index("## sweep")
+        assert "6.93" in text
+
 
 class TestCheck:
     def test_ratio_gate_passes_and_fails(self, tmp_path, results, capsys):

@@ -140,6 +140,57 @@ class TestEstimateOptimum:
         config, value = estimate_optimum(env, space, samples=200, seed=0)
         assert env.true_objective(to_training_config(config)) == pytest.approx(value)
 
+    @pytest.mark.parametrize("objective", ["throughput", "tta"])
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_batch_path_bit_identical_to_scalar(self, objective, seed):
+        cluster = homogeneous(8)
+        env = TrainingEnvironment(WORKLOAD, cluster, seed=3, objective_name=objective)
+        space = ml_config_space(8)
+        clear_optimum_cache()
+        batch = estimate_optimum(
+            env, space, samples=300, refinement_rounds=8, seed=seed, vectorized=True
+        )
+        clear_optimum_cache()
+        scalar = estimate_optimum(
+            env, space, samples=300, refinement_rounds=8, seed=seed, vectorized=False
+        )
+        clear_optimum_cache()
+        # Same winning config AND the exact same float, not approx: the
+        # batch engine replays the scalar path's operation order.
+        assert batch == scalar
+
+    def test_drifted_environment_does_not_reuse_stationary_optimum(self):
+        # Regression: the memo key once ignored the drift schedule, so a
+        # drifted environment silently reused its stationary twin's
+        # optimum (and vice versa) — normalising post-drift results
+        # against a pre-drift anchor.
+        from repro.mlsim import StepDrift, StragglerOnset, CompositeDrift
+
+        clear_optimum_cache()
+        cluster = homogeneous(8)
+        space = ml_config_space(8)
+        drift = CompositeDrift(
+            (
+                StragglerOnset(at_s=10.0, fraction=0.5, slowdown=8.0),
+                StepDrift(at_s=10.0, intensity=2.0),
+            )
+        )
+        stationary = TrainingEnvironment(WORKLOAD, cluster, seed=0)
+        drifted = TrainingEnvironment(WORKLOAD, cluster, seed=0, drift=drift)
+        drifted.set_clock(50.0)
+        _, stationary_value = estimate_optimum(stationary, space, samples=200, seed=0)
+        _, drifted_value = estimate_optimum(drifted, space, samples=200, seed=0)
+        assert drifted_value != stationary_value
+
+        # Two clock epochs of one drifted environment are different
+        # problems too: advancing the clock must miss the earlier entry.
+        late = TrainingEnvironment(WORKLOAD, cluster, seed=0, drift=drift)
+        late.set_clock(5.0)  # pre-drift epoch
+        _, early_value = estimate_optimum(late, space, samples=200, seed=0)
+        assert early_value != drifted_value
+        assert early_value == stationary_value  # pre-onset surface is stationary
+        clear_optimum_cache()
+
 
 class TestCompareStrategies:
     def test_structure_and_ranking(self):

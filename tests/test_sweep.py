@@ -1,0 +1,115 @@
+"""Tests for the N-seed statistical sweep harness."""
+
+import numpy as np
+import pytest
+
+from repro.harness import SweepCell, clear_optimum_cache, run_sweep, seed_spread_stats
+from repro.harness.experiments import clear_experiment_cache
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    clear_experiment_cache()
+    clear_optimum_cache()
+    yield
+    clear_experiment_cache()
+    clear_optimum_cache()
+
+
+def small_cells():
+    return [
+        SweepCell(
+            name="resnet-random",
+            workload="resnet50-imagenet",
+            nodes=8,
+            strategy="random",
+            max_trials=6,
+            optimum_samples=150,
+        ),
+        SweepCell(
+            name="resnet-coordinate",
+            workload="resnet50-imagenet",
+            nodes=8,
+            strategy="coordinate",
+            max_trials=6,
+            optimum_samples=150,
+        ),
+    ]
+
+
+class TestSeedSpreadStats:
+    def test_boxplot_ordering(self):
+        stats = seed_spread_stats([0.9, 0.2, 0.5, 0.7, 0.4])
+        assert (
+            stats["min"]
+            <= stats["q1"]
+            <= stats["median"]
+            <= stats["q3"]
+            <= stats["max"]
+        )
+        assert stats["iqr"] == pytest.approx(stats["q3"] - stats["q1"])
+        assert stats["mean"] == pytest.approx(0.54)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            seed_spread_stats([])
+
+
+class TestSweepCell:
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            SweepCell(name="x", workload="resnet50-imagenet", nodes=8, strategy="gibberish")
+
+    def test_cells_are_hashable_and_frozen(self):
+        cell = small_cells()[0]
+        assert hash(cell)
+        with pytest.raises(AttributeError):
+            cell.max_trials = 3
+
+
+class TestRunSweep:
+    def test_report_structure_and_stats(self):
+        seeds = [0, 1, 2]
+        report = run_sweep(small_cells(), seeds=seeds, n_jobs=1)
+        assert report["seeds"] == seeds
+        assert report["n_cells"] == 2
+        assert report["n_sessions"] == 6
+        for name in ("resnet-random", "resnet-coordinate"):
+            cell = report["cells"][name]
+            assert len(cell["values"]) == len(seeds)
+            # Normalised against the noise-free optimum: nothing above ~1
+            # beyond measurement noise.
+            assert all(0.0 <= v <= 1.1 for v in cell["values"])
+            stats = cell["stats"]
+            assert stats["min"] <= stats["median"] <= stats["max"]
+            assert cell["mean_trials"] <= 6.0
+            assert cell["optimum_value"] > 0
+
+    def test_parallel_matches_serial(self):
+        serial = run_sweep(small_cells(), seeds=[0, 1], n_jobs=1)
+        clear_experiment_cache()
+        clear_optimum_cache()
+        parallel = run_sweep(small_cells(), seeds=[0, 1], n_jobs=2)
+        assert serial == parallel
+
+    def test_sessions_are_memoised_across_calls(self):
+        from repro.harness import experiments
+
+        cells = small_cells()[:1]
+        first = run_sweep(cells, seeds=[0, 1], n_jobs=1)
+        # Drop only the in-memory tier: the persistent disk tier must
+        # serve the rerun with identical session summaries.
+        experiments._memo.clear()
+        clear_optimum_cache()
+        second = run_sweep(cells, seeds=[0, 1], n_jobs=1)
+        assert first == second
+
+    def test_rejects_duplicate_names_and_empty_inputs(self):
+        cells = small_cells()
+        with pytest.raises(ValueError, match="unique"):
+            run_sweep([cells[0], cells[0]], seeds=[0])
+        with pytest.raises(ValueError, match="cell"):
+            run_sweep([], seeds=[0])
+        with pytest.raises(ValueError, match="seed"):
+            run_sweep(cells, seeds=[])
