@@ -79,6 +79,9 @@ paper-vs-measured record.
 
 from repro.core import (
     AsyncExecutor,
+    Checkpoint,
+    CheckpointConfig,
+    CheckpointError,
     EnvironmentPool,
     EnvironmentShard,
     HistoryRepository,
@@ -99,6 +102,9 @@ __version__ = "0.1.0"
 
 __all__ = [
     "AsyncExecutor",
+    "Checkpoint",
+    "CheckpointConfig",
+    "CheckpointError",
     "EnvironmentPool",
     "EnvironmentShard",
     "HistoryRepository",

@@ -52,6 +52,20 @@ STRATEGIES = {
 }
 
 
+def _parent_dir_ok(path: str, flag: str) -> bool:
+    """Exit-2-style validation shared by every path-taking flag.
+
+    True when ``path``'s parent directory exists; otherwise prints the
+    standard error line (naming the flag) to stderr and returns False —
+    the caller returns exit code 2.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    if not os.path.isdir(directory):
+        print(f"{flag}: directory {directory!r} does not exist", file=sys.stderr)
+        return False
+    return True
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -154,6 +168,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trial-log", default=None, metavar="PATH",
         help="write every trial as a JSON line to PATH",
     )
+    tune.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="checkpoint the session to PATH (snapshot) + PATH.wal "
+        "(per-probe write-ahead log) so a crashed run can be resumed "
+        "bit-identically with --resume",
+    )
+    tune.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="refresh the checkpoint snapshot every N recorded trials "
+        "(the WAL is per-probe durable regardless; default 1)",
+    )
+    tune.add_argument(
+        "--resume", action="store_true",
+        help="resume the session from --checkpoint instead of starting "
+        "fresh (budget and seed come from the checkpoint; pass the same "
+        "workload/fleet flags as the original run)",
+    )
 
     serve = sub.add_parser(
         "serve", help="run a multi-tenant tuning service over one shared fleet"
@@ -199,6 +230,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--detect-drift", action="store_true",
         help="attach a per-tenant change-point detector that re-tunes on "
         "alarms",
+    )
+    serve.add_argument(
+        "--checkpoint-dir", default=None, metavar="PATH",
+        help="checkpoint every tenant session to PATH/<tenant>.ckpt and "
+        "restart crashed tenants from their last checkpoint",
     )
     serve.add_argument("--seed", type=int, default=0)
 
@@ -317,10 +353,23 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     if args.shards is not None and args.shards < 1:
         print("--shards must be >= 1", file=sys.stderr)
         return 2
-    if args.trial_log:
-        log_dir = os.path.dirname(os.path.abspath(args.trial_log))
-        if not os.path.isdir(log_dir):
-            print(f"--trial-log: directory {log_dir!r} does not exist", file=sys.stderr)
+    if args.trial_log and not _parent_dir_ok(args.trial_log, "--trial-log"):
+        return 2
+    if args.checkpoint_every < 1:
+        print("--checkpoint-every must be >= 1", file=sys.stderr)
+        return 2
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    if args.checkpoint:
+        if not _parent_dir_ok(args.checkpoint, "--checkpoint"):
+            return 2
+        if args.resume and not os.path.exists(args.checkpoint + ".wal"):
+            print(
+                f"--resume: no write-ahead log at {args.checkpoint + '.wal'!r} "
+                f"— nothing to resume",
+                file=sys.stderr,
+            )
             return 2
     if not 0.0 <= args.failure_rate < 1.0:
         print("--failure-rate must be in [0, 1)", file=sys.stderr)
@@ -407,14 +456,48 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     max_wall_s = (
         args.max_wall_hours * 3600.0 if args.max_wall_hours is not None else None
     )
-    result = strategy.run(
-        env,
-        space,
-        TuningBudget(max_trials=args.trials, max_wall_clock_s=max_wall_s),
-        seed=args.seed,
-        executor=executor,
-        callbacks=callbacks,
-    )
+    budget = TuningBudget(max_trials=args.trials, max_wall_clock_s=max_wall_s)
+    if args.checkpoint:
+        from repro.core import Checkpoint, CheckpointConfig, CheckpointError
+        from repro.core.session import TuningSession
+
+        checkpoint = CheckpointConfig(
+            args.checkpoint, every_n_trials=args.checkpoint_every
+        )
+        session = TuningSession(strategy, executor=executor, callbacks=callbacks)
+        try:
+            if args.resume:
+                # The env/fleet is rebuilt from the CLI flags, so the seed
+                # must match the original run or the post-replay noise
+                # stream diverges silently — reject a mismatch up front.
+                try:
+                    recorded_seed = Checkpoint.load(args.checkpoint).meta.get("seed")
+                except CheckpointError:
+                    recorded_seed = None  # WAL-header fallback in restore()
+                if recorded_seed is not None and recorded_seed != args.seed:
+                    print(
+                        f"--resume: checkpoint was written with --seed "
+                        f"{recorded_seed}; pass the same seed",
+                        file=sys.stderr,
+                    )
+                    return 2
+                result = session.resume(checkpoint, env, space)
+            else:
+                result = session.run(
+                    env, space, budget, seed=args.seed, checkpoint=checkpoint
+                )
+        except CheckpointError as exc:
+            print(f"--checkpoint: {exc}", file=sys.stderr)
+            return 2
+    else:
+        result = strategy.run(
+            env,
+            space,
+            budget,
+            seed=args.seed,
+            executor=executor,
+            callbacks=callbacks,
+        )
     if result.best_trial is None:
         print("every probe failed — nothing to report", file=sys.stderr)
         return 1
@@ -458,6 +541,11 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             print("drift    : no change-points detected")
     if args.trial_log:
         print(f"trial log: {args.trial_log}")
+    if args.checkpoint:
+        print(f"checkpoint: {args.checkpoint} "
+              f"({'resumed' if args.resume else 'written'}, "
+              f"snapshot every {args.checkpoint_every} trial"
+              f"{'s' if args.checkpoint_every != 1 else ''})")
     print("configuration:")
     for knob, value in sorted(result.best_config.items()):
         print(f"  {knob:>20} = {value}")
@@ -502,12 +590,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if not multipliers or any(m <= 0 for m in multipliers):
         print("--fleet multipliers must be positive", file=sys.stderr)
         return 2
-    if args.history:
-        history_dir = os.path.dirname(os.path.abspath(args.history))
-        if not os.path.isdir(history_dir):
-            print(f"--history: directory {history_dir!r} does not exist",
-                  file=sys.stderr)
+    if args.history and not _parent_dir_ok(args.history, "--history"):
+        return 2
+    if args.checkpoint_dir:
+        if not _parent_dir_ok(args.checkpoint_dir, "--checkpoint-dir"):
             return 2
+        os.makedirs(args.checkpoint_dir, exist_ok=True)
 
     if not 0.0 <= args.failure_rate < 1.0:
         print("--failure-rate must be in [0, 1)", file=sys.stderr)
@@ -523,6 +611,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ml_config_space(args.nodes),
         repository=repository,
         warm_start=not args.no_warm_start,
+        checkpoint_dir=args.checkpoint_dir,
     )
     detector_factory = None
     if args.detect_drift:
@@ -555,6 +644,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"{args.nodes} nodes each")
     if repository is not None:
         print(f"history  : {args.history} ({len(repository)} stored sessions)")
+    if args.checkpoint_dir:
+        print(f"checkpoints: {args.checkpoint_dir}")
     for handle in result.tenants:
         spec = handle.spec
         if handle.state == "failed":
@@ -562,6 +653,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             continue
         tenant_result = handle.result
         start = ("warm from " + handle.mapped_from) if handle.warm else "cold start"
+        if handle.recoveries:
+            start += f", recovered x{handle.recoveries}"
         best = (
             f"{tenant_result.best_objective:.1f} samples/s"
             if tenant_result.best_trial is not None

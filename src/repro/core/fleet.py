@@ -616,6 +616,40 @@ class EnvironmentPool:
     def descriptors(self) -> List[ShardDescriptor]:
         return [shard.descriptor for shard in self.shards]
 
+    def fingerprint(self) -> List[List[object]]:
+        """JSON-exact fleet shape, for checkpoint executor fingerprints.
+
+        A resumed session must rebuild the same fleet — shard order,
+        capacities, and cost multipliers all steer scheduling and probe
+        accounting, so any difference means the recorded stream cannot
+        replay.  Scheduler identity rides along for the same reason.
+        """
+        return [
+            [shard.name, int(shard.capacity), float(shard.cost_multiplier)]
+            for shard in self.shards
+        ] + [["scheduler", type(self.scheduler).__name__, 0.0]]
+
+    def env_counters(self) -> Dict[str, Dict[str, object]]:
+        """Probe counters per distinct shard environment (checkpoint audit).
+
+        Keyed by the first shard name wrapping each distinct environment
+        (shards may share one), values are the counters that key the
+        environment's per-trial noise streams.
+        """
+        counters: Dict[str, Dict[str, object]] = {}
+        seen = set()
+        for shard in self.shards:
+            if id(shard.env) in seen:
+                continue
+            seen.add(id(shard.env))
+            trials_run = getattr(shard.env, "trials_run", None)
+            cost = getattr(shard.env, "total_probe_cost_s", None)
+            counters[shard.name] = {
+                "trials_run": None if trials_run is None else int(trials_run),
+                "total_probe_cost_s": None if cost is None else float(cost),
+            }
+        return counters
+
     def describe(self) -> Dict[str, object]:
         """Summary dict for experiment logs (the fleet analogue of
         :meth:`~repro.mlsim.TrainingEnvironment.describe`)."""

@@ -54,10 +54,13 @@ regression anchor ``tests/test_service.py`` pins).
 
 from __future__ import annotations
 
+import os
+import re
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.configspace import ConfigSpace
+from repro.core.checkpoint import CheckpointConfig
 from repro.core.fleet import (
     EnvironmentPool,
     EnvironmentShard,
@@ -218,6 +221,15 @@ class TenantHandle:
         self.lease: int = 0
         self.warm = False
         self.mapped_from: Optional[str] = None
+        #: Times this tenant was restarted from its checkpoint.
+        self.recoveries: int = 0
+        #: Snapshot path when the service checkpoints per tenant.
+        self.checkpoint_path: Optional[str] = None
+        # Warm-start prior stash: recovery must rebuild the strategy with
+        # the *originally built* prior — the repository may have gained
+        # sessions since, and a different prior would diverge the replay.
+        self._prior_built = False
+        self._stashed_prior = None
 
     @property
     def history(self):
@@ -296,6 +308,21 @@ class TuningService:
     scheduler_factory:
         Builds each tenant pool's private placement scheduler (default
         :class:`~repro.core.fleet.RoundRobinScheduler`).
+    checkpoint_dir:
+        When set, every tenant session checkpoints to
+        ``<dir>/<tenant>.ckpt`` (see :mod:`repro.core.checkpoint`), and a
+        tenant whose session *crashes* mid-run is restarted from its last
+        checkpoint instead of being marked failed: its strategy is
+        rebuilt with the originally-installed warm-start prior, its
+        session replays the durable probe prefix (bit-identical, no
+        machine time re-spent), its fleet lease is re-acquired at the
+        next scheduling round, and every neighbouring tenant is
+        unperturbed (private pools and RNG streams mean the interleaving
+        order cannot leak across tenants).
+    max_recoveries:
+        Restart attempts per tenant before a crash is surfaced as a real
+        failure — a deterministic strategy bug would otherwise crash
+        again at the same trial forever.
     """
 
     def __init__(
@@ -308,6 +335,8 @@ class TuningService:
         record_sessions: bool = True,
         max_tenants: Optional[int] = None,
         scheduler_factory: Optional[Callable[[], ShardScheduler]] = None,
+        checkpoint_dir: Optional[str] = None,
+        max_recoveries: int = 1,
     ) -> None:
         templates = list(templates)
         if not templates:
@@ -327,6 +356,10 @@ class TuningService:
         self.scheduler_factory = (
             scheduler_factory if scheduler_factory is not None else RoundRobinScheduler
         )
+        if max_recoveries < 0:
+            raise ValueError("max_recoveries must be >= 0")
+        self.checkpoint_dir = checkpoint_dir
+        self.max_recoveries = max_recoveries
         self.total_capacity = sum(template.capacity for template in templates)
         self._handles: List[TenantHandle] = []
         self._clock = 0.0
@@ -379,7 +412,14 @@ class TuningService:
     # -- tenant construction ----------------------------------------------
 
     def _build_strategy(self, handle: TenantHandle) -> SearchStrategy:
-        """The tenant's strategy, warm-started from the repository if possible."""
+        """The tenant's strategy, warm-started from the repository if possible.
+
+        The built prior (or the decision not to build one) is stashed on
+        the handle: a recovery rebuild reuses the stash verbatim rather
+        than querying the repository again — neighbours may have finished
+        sessions in the meantime, and a different prior would diverge the
+        checkpoint replay.
+        """
         spec = handle.spec
         strategy = spec.strategy_factory()
         # Wrappers (e.g. StoppedStrategy) hold the real tuner as .inner;
@@ -387,6 +427,15 @@ class TuningService:
         target = strategy
         while not hasattr(target, "prior_mean") and hasattr(target, "inner"):
             target = target.inner
+        if handle._prior_built:
+            prior = handle._stashed_prior
+            if prior is None or not hasattr(target, "prior_mean"):
+                return strategy
+            target.prior_mean = prior
+            if self.warm_n_initial is not None and hasattr(target, "n_initial"):
+                target.n_initial = max(2, min(target.n_initial, self.warm_n_initial))
+            return strategy
+        handle._prior_built = True
         if (
             self.repository is None
             or not self.warm_start
@@ -409,6 +458,7 @@ class TuningService:
             target.n_initial = max(2, min(target.n_initial, self.warm_n_initial))
         handle.warm = True
         handle.mapped_from = source
+        handle._stashed_prior = prior
         return strategy
 
     def _build_pool(self, spec: TenantSpec) -> EnvironmentPool:
@@ -424,8 +474,17 @@ class TuningService:
         ]
         return EnvironmentPool(shards, scheduler=self.scheduler_factory())
 
+    def _tenant_checkpoint(self, spec: TenantSpec) -> Optional[CheckpointConfig]:
+        if self.checkpoint_dir is None:
+            return None
+        safe = re.sub(r"[^A-Za-z0-9._-]", "_", spec.name)
+        return CheckpointConfig(os.path.join(self.checkpoint_dir, f"{safe}.ckpt"))
+
     def _build_session(
-        self, handle: TenantHandle, with_ledger: bool = True
+        self,
+        handle: TenantHandle,
+        with_ledger: bool = True,
+        resume: bool = False,
     ) -> TuningSession:
         spec = handle.spec
         handle.strategy = self._build_strategy(handle)
@@ -441,7 +500,17 @@ class TuningService:
             callbacks.append(self._ledger_callback)
         session = TuningSession(handle.strategy, executor=executor, callbacks=callbacks)
         handle.session = session
-        session.start(None, self.space, spec.budget, seed=spec.seed)
+        checkpoint = self._tenant_checkpoint(spec) if with_ledger else None
+        if checkpoint is not None:
+            handle.checkpoint_path = checkpoint.path
+        if resume:
+            if checkpoint is None:
+                raise ValueError("resume requires a checkpoint_dir")
+            session.restore(checkpoint, None, self.space)
+        else:
+            session.start(
+                None, self.space, spec.budget, seed=spec.seed, checkpoint=checkpoint
+            )
         return session
 
     # -- fair-share allocation --------------------------------------------
@@ -507,6 +576,43 @@ class TuningService:
         handle.pool.set_lease(0)
         self._clock = max(self._clock, handle.finished_at)
 
+    def _try_recover(self, handle: TenantHandle, error: BaseException) -> bool:
+        """Restart a crashed tenant from its checkpoint, if possible.
+
+        Returns True when the tenant is live again (state stays
+        ``active``; the next scheduling round re-grants its lease).  The
+        crashed session's recorded probe costs are rolled back from the
+        service ledger first — the replay re-accrues them trial by trial,
+        so without the rollback every recovery would double-count.
+        """
+        if self.checkpoint_dir is None or handle.recoveries >= self.max_recoveries:
+            return False
+        path = handle.checkpoint_path
+        if path is None or not os.path.exists(path + ".wal"):
+            return False
+        crashed = handle.history
+        old_session, old_strategy, old_pool = (
+            handle.session,
+            handle.strategy,
+            handle.pool,
+        )
+        try:
+            self._build_session(handle, resume=True)
+        except Exception:  # noqa: BLE001 - surface the original crash instead
+            handle.session = old_session
+            handle.strategy = old_strategy
+            handle.pool = old_pool
+            return False
+        # The rebuilt session is live: roll the crashed session's recorded
+        # probe costs out of the ledger before the replay re-accrues them.
+        if crashed is not None:
+            for trial in crashed:
+                cost = float(trial.measurement.probe_cost_s)
+                remaining = self._recorded_cost_by_shard.get(trial.shard, 0.0) - cost
+                self._recorded_cost_by_shard[trial.shard] = remaining
+        handle.recoveries += 1
+        return True
+
     def _record(self, handle: TenantHandle, result: TuningResult) -> None:
         spec = handle.spec
         if (
@@ -557,6 +663,13 @@ class TuningService:
             try:
                 progressed = handle.session.step()
             except Exception as error:  # noqa: BLE001 - tenant isolation boundary
+                if self._try_recover(handle, error):
+                    # The tenant restarts from its checkpoint: history
+                    # rebuilds from zero, so its virtual time is minimal
+                    # and the scheduler fast-forwards it through the
+                    # (free) replay before touching the other tenants.
+                    active = self._active()
+                    continue
                 self._fail(handle, error)
                 self._activate_ready()
                 active = self._active()

@@ -51,14 +51,24 @@ Example
 from __future__ import annotations
 
 import json
+import os
 import sys
 from abc import ABC, abstractmethod
 from heapq import heappop, heappush
-from typing import IO, List, Optional, Sequence, TextIO
+from typing import IO, List, Optional, Sequence, TextIO, Union
 
 import numpy as np
 
 from repro.configspace import ConfigDict, ConfigSpace
+from repro.core.checkpoint import (
+    CheckpointConfig,
+    CheckpointError,
+    CheckpointJournal,
+    JournalledStrategy,
+    executor_fingerprint,
+    session_meta,
+    space_fingerprint,
+)
 from repro.core.fleet import EnvironmentPool, EnvironmentShard
 from repro.core.strategy import SearchStrategy, TuningBudget, TuningResult
 from repro.core.trial import Trial, TrialHistory
@@ -242,10 +252,16 @@ class JsonlTrialLog(SessionCallback):
 
     The file is truncated at session start, so one sink instance logs one
     session at a time (reuse across sequential sessions overwrites).
+
+    ``durable=True`` additionally ``os.fsync``'s the file after every
+    record, so a process crash cannot silently lose the buffered tail of
+    the log — the offline record then always ends at a trial the session
+    actually completed.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, durable: bool = False) -> None:
         self.path = path
+        self.durable = durable
         self._handle: Optional[IO[str]] = None
 
     def _write(self, payload: dict) -> None:
@@ -253,6 +269,8 @@ class JsonlTrialLog(SessionCallback):
             self._handle = open(self.path, "w")
         self._handle.write(json.dumps(payload) + "\n")
         self._handle.flush()
+        if self.durable:
+            os.fsync(self._handle.fileno())
 
     def on_session_start(self, strategy, env, space, budget) -> None:
         if self._handle is not None:
@@ -1044,6 +1062,10 @@ class TuningSession:
         self._events: Optional[_Events] = None
         self._stalled = False
         self._result: Optional[TuningResult] = None
+        # The strategy the loop actually drives: the raw strategy, or a
+        # JournalledStrategy proxy when a checkpoint is attached.
+        self._loop_strategy: SearchStrategy = strategy
+        self._journal: Optional[CheckpointJournal] = None
 
     @property
     def history(self) -> Optional[TrialHistory]:
@@ -1061,6 +1083,7 @@ class TuningSession:
         space: ConfigSpace,
         budget: TuningBudget,
         seed: int = 0,
+        checkpoint: Union[CheckpointConfig, CheckpointJournal, str, None] = None,
     ) -> "TuningSession":
         """Initialise the loop state; the first :meth:`step` may then run.
 
@@ -1069,19 +1092,55 @@ class TuningSession:
         through the pool's shards and the pool's own description stands in
         for the environment in callbacks and the result.  When both are
         given the pool wins for dispatch.
+
+        ``checkpoint`` (a :class:`~repro.core.checkpoint.CheckpointConfig`
+        or a bare path) makes the session durable: every probe is logged
+        to a write-ahead log before the loop acts on it and the snapshot
+        refreshes every ``every_n_trials`` recorded trials, so a crashed
+        process can pick the session back up with :meth:`resume`.
+        Starting fresh at a path *overwrites* any previous checkpoint
+        there (use :meth:`restore`/:meth:`resume` to continue one).
+        An already-loaded :class:`CheckpointJournal` continues its replay
+        instead — that is the path :meth:`restore` takes internally.
         """
         pool = self.executor.pool
         if env is None and pool is None:
             raise ValueError(
                 "env may only be None when the executor probes an EnvironmentPool"
             )
+        journal: Optional[CheckpointJournal] = None
+        if checkpoint is not None:
+            if isinstance(checkpoint, CheckpointJournal):
+                journal = checkpoint
+            else:
+                config = (
+                    checkpoint
+                    if isinstance(checkpoint, CheckpointConfig)
+                    else CheckpointConfig(checkpoint)
+                )
+                journal = CheckpointJournal.create(
+                    config,
+                    session_meta(self.strategy, seed, budget, space, self.executor),
+                )
         self._env = env
         self._env_like = env if pool is None else pool
         self._space = space
         self._budget = budget
         self._rng = np.random.default_rng(seed)
         self._history = TrialHistory()
-        self._events = _Events(self.callbacks)
+        self._journal = journal
+        self._loop_strategy = (
+            self.strategy
+            if journal is None
+            else JournalledStrategy(self.strategy, journal)
+        )
+        # The recorder runs FIRST in the callback chain: its position is
+        # deterministic (identical in the original run and every replay),
+        # and a later callback raising can never lose a trial's record.
+        callbacks = list(self.callbacks)
+        if journal is not None:
+            callbacks.insert(0, journal.recorder(self))
+        self._events = _Events(callbacks)
         self._stalled = False
         self._result = None
         self.strategy.reset()
@@ -1108,13 +1167,13 @@ class TuningSession:
         # in flight drain to completion — their machine time is spent
         # and their measurements exist.  Budget exhaustion, by
         # contrast, cancels pending probes (the check above).
-        if self.strategy.finished(self._history, self._space) and not (
+        if self._loop_strategy.finished(self._history, self._space) and not (
             self.executor.has_pending()
         ):
             self._stalled = True
             return False
         trials = self.executor.run_round(
-            self.strategy,
+            self._loop_strategy,
             self._env,
             self._space,
             self._history,
@@ -1158,9 +1217,84 @@ class TuningSession:
         space: ConfigSpace,
         budget: TuningBudget,
         seed: int = 0,
+        checkpoint: Union[CheckpointConfig, str, None] = None,
     ) -> TuningResult:
         """Execute the tuning session to completion and return its result."""
-        self.start(env, space, budget, seed)
+        self.start(env, space, budget, seed, checkpoint=checkpoint)
+        while self.step():
+            pass
+        return self.finish()
+
+    def restore(
+        self,
+        checkpoint: Union[CheckpointConfig, str],
+        env: Optional[TrainingEnvironment],
+        space: ConfigSpace,
+    ) -> "TuningSession":
+        """Restart this session from a checkpoint written by a prior run.
+
+        The budget and seed come from the checkpoint's metadata; the
+        strategy, space, and executor must match the originals (their
+        fingerprints are validated — replay re-executes the original
+        scheduling decisions, so a different executor shape or search
+        space cannot reproduce the same stream).  Restoration is
+        *replay*: the loop restarts from trial zero with every durable
+        probe's recorded measurement substituted for the probe itself, so
+        no machine time is re-spent, all derived state (RNG streams,
+        surrogate caches, incumbents, executor free-lists) is rebuilt
+        bit-identically, and the continuation keeps appending to the same
+        write-ahead log.  After :meth:`restore`, drive the session with
+        :meth:`step`/:meth:`finish` as usual (or call :meth:`resume` to
+        do all three).
+        """
+        config = (
+            checkpoint
+            if isinstance(checkpoint, CheckpointConfig)
+            else CheckpointConfig(checkpoint)
+        )
+        journal = CheckpointJournal.load(config)
+        meta = journal.meta
+        if meta.get("strategy") != self.strategy.name:
+            raise CheckpointError(
+                f"checkpoint {config.path!r} was written by strategy "
+                f"{meta.get('strategy')!r}, not {self.strategy.name!r}"
+            )
+        if meta.get("space") != space_fingerprint(space):
+            raise CheckpointError(
+                f"checkpoint {config.path!r} was written against a different "
+                f"search space ({meta.get('space')!r} vs "
+                f"{space_fingerprint(space)!r})"
+            )
+        if meta.get("executor") != executor_fingerprint(self.executor):
+            raise CheckpointError(
+                f"checkpoint {config.path!r} was written under a different "
+                f"executor ({meta.get('executor')!r} vs "
+                f"{executor_fingerprint(self.executor)!r}); resume with the "
+                f"same executor kind, worker count, and fleet shape"
+            )
+        budget_payload = meta.get("budget", {})
+        budget = TuningBudget(
+            max_trials=budget_payload.get("max_trials"),
+            max_cost_s=budget_payload.get("max_cost_s"),
+            max_wall_clock_s=budget_payload.get("max_wall_clock_s"),
+        )
+        seed = int(meta.get("seed", 0))
+        return self.start(env, space, budget, seed, checkpoint=journal)
+
+    def resume(
+        self,
+        checkpoint: Union[CheckpointConfig, str],
+        env: Optional[TrainingEnvironment],
+        space: ConfigSpace,
+    ) -> TuningResult:
+        """Resume from a checkpoint and run the session to completion.
+
+        The result is bit-identical to what the uninterrupted run would
+        have produced: the durable write-ahead prefix replays for free,
+        the remainder probes live.  Resuming a checkpoint whose session
+        already completed simply replays to the same final result.
+        """
+        self.restore(checkpoint, env, space)
         while self.step():
             pass
         return self.finish()

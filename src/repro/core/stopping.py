@@ -167,6 +167,12 @@ class StoppedStrategy(SearchStrategy):
         self.inner.reset()
         self.stop_reason = None
 
+    def snapshot_state(self) -> Optional[dict]:
+        inner_state = self.inner.snapshot_state()
+        if inner_state is None and self.stop_reason is None:
+            return None
+        return {"inner": inner_state, "stop_reason": self.stop_reason}
+
     def propose(
         self, history: TrialHistory, space: ConfigSpace, rng: np.random.Generator
     ) -> ConfigDict:

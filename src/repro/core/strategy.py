@@ -210,6 +210,20 @@ class SearchStrategy(ABC):
         environment into the next session.
         """
 
+    def snapshot_state(self) -> Optional[dict]:
+        """Hook: a JSON-serialisable audit snapshot of per-session state.
+
+        Written into checkpoint snapshots (:mod:`repro.core.checkpoint`)
+        for offline inspection — incumbents, queue depths, surrogate-cache
+        fingerprints.  It is **never used to restore**: resume rebuilds
+        all strategy state bit-identically by replaying the recorded probe
+        stream through the normal propose→observe loop, which is the only
+        mechanism that reproduces RNG streams and surrogate caches at the
+        bit level.  The default (``None``) means "rebuild from history" —
+        stateless strategies need nothing else.
+        """
+        return None
+
     def run(
         self,
         env: Optional[TrainingEnvironment],

@@ -35,6 +35,7 @@ import json
 import math
 import os
 import tempfile
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -244,25 +245,55 @@ class HistoryRepository:
     same directory and swapped in with ``os.replace`` (the experiment
     cache's discipline), so a crash mid-write can never leave a truncated
     repository behind.  Loading tolerates a missing file (an empty
-    repository) but fails loudly on a corrupt one.
+    repository); corrupt lines (external edits, torn copies) are
+    *quarantined* rather than fatal — each bad line is appended to a
+    ``<path>.quarantine`` sidecar and skipped, with one warning naming
+    the first bad ``file:line`` and the count, so one damaged record
+    cannot take every future warm-started tenant down with it.  Pass
+    ``strict=True`` to restore the old fail-loud behaviour.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, strict: bool = False) -> None:
         self.path = path
+        self.strict = strict
+        self.quarantined_lines = 0
         self._entries: List[dict] = []
         if os.path.exists(path):
+            bad: List[Tuple[int, str]] = []
             with open(path) as handle:
                 for line_number, line in enumerate(handle, start=1):
-                    line = line.strip()
-                    if not line:
+                    stripped = line.strip()
+                    if not stripped:
                         continue
                     try:
-                        entry = json.loads(line)
-                    except json.JSONDecodeError as exc:
-                        raise ValueError(
-                            f"{path}:{line_number}: corrupt repository line ({exc})"
-                        ) from None
+                        entry = json.loads(stripped)
+                        if not isinstance(entry, dict):
+                            raise ValueError("repository line is not an object")
+                    except ValueError as exc:
+                        if strict:
+                            raise ValueError(
+                                f"{path}:{line_number}: corrupt repository "
+                                f"line ({exc})"
+                            ) from None
+                        bad.append((line_number, stripped))
+                        continue
                     self._entries.append(entry)
+            if bad:
+                with open(self.quarantine_path, "a") as sidecar:
+                    for _, stripped in bad:
+                        sidecar.write(stripped + "\n")
+                self.quarantined_lines = len(bad)
+                warnings.warn(
+                    f"{path}:{bad[0][0]}: quarantined {len(bad)} corrupt "
+                    f"repository line(s) to {self.quarantine_path}; "
+                    f"continuing with {len(self._entries)} intact session(s)",
+                    stacklevel=2,
+                )
+
+    @property
+    def quarantine_path(self) -> str:
+        """Sidecar file corrupt lines are moved to."""
+        return self.path + ".quarantine"
 
     def _flush(self) -> None:
         directory = os.path.dirname(os.path.abspath(self.path))

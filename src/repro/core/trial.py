@@ -17,11 +17,107 @@ probe, K-way-parallel probing accrues only the slowest probe of each round.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 from repro.configspace import ConfigDict
 from repro.mlsim import Measurement
+
+
+def measurement_to_payload(measurement: Measurement) -> dict:
+    """A JSON-exact payload for a :class:`~repro.mlsim.Measurement`.
+
+    Every field is a JSON-native scalar: Python's ``json`` round-trips
+    floats via ``repr`` (bit-exact, ``inf`` included) and the config is a
+    :class:`~repro.mlsim.config.TrainingConfig` of plain scalars, so
+    ``measurement_from_payload(measurement_to_payload(m)) == m`` holds
+    bit-for-bit — the property the checkpoint WAL's replay guarantee
+    rests on.
+    """
+    return {
+        "config": measurement.config.to_dict(),
+        "ok": bool(measurement.ok),
+        "fidelity": measurement.fidelity,
+        "error": measurement.error,
+        "throughput": measurement.throughput,
+        "iteration_time_s": measurement.iteration_time_s,
+        "mean_staleness": measurement.mean_staleness,
+        "tta_s": measurement.tta_s,
+        "probe_cost_s": measurement.probe_cost_s,
+        "objective": measurement.objective,
+    }
+
+
+def measurement_from_payload(payload: dict) -> Measurement:
+    """Inverse of :func:`measurement_to_payload`."""
+    from repro.mlsim.config import TrainingConfig
+
+    return Measurement(
+        config=TrainingConfig.from_dict(payload["config"]),
+        ok=bool(payload["ok"]),
+        fidelity=payload["fidelity"],
+        error=payload["error"],
+        throughput=float(payload["throughput"]),
+        iteration_time_s=float(payload["iteration_time_s"]),
+        mean_staleness=float(payload["mean_staleness"]),
+        tta_s=float(payload["tta_s"]),
+        probe_cost_s=float(payload["probe_cost_s"]),
+        objective=(
+            None if payload["objective"] is None else float(payload["objective"])
+        ),
+    )
+
+
+class RestoredEvent:
+    """A session event deserialised from a checkpoint snapshot.
+
+    Original event objects (e.g. :class:`~repro.core.detect.DriftEvent`)
+    are serialised field-by-field when their fields are JSON-safe; this
+    shim re-exposes those fields as attributes so consumers like
+    :meth:`TrialHistory.recommendation` (which reads ``trial_index``)
+    keep working on an inspected history.  Events whose fields do not
+    serialise keep only their ``repr`` under the ``detail`` attribute.
+    """
+
+    def __init__(self, kind: str, fields: Optional[dict] = None, detail: str = ""):
+        self.kind = kind
+        self.fields = dict(fields) if fields else {}
+        self.detail = detail
+
+    def __getattr__(self, name: str):
+        fields = self.__dict__.get("fields", {})
+        if name in fields:
+            return fields[name]
+        raise AttributeError(name)
+
+    def __repr__(self) -> str:
+        body = self.fields if self.fields else self.detail
+        return f"RestoredEvent({self.kind}, {body})"
+
+
+def _event_to_payload(event: object) -> dict:
+    """Serialise a history event: fields when JSON-safe, repr otherwise."""
+    kind = type(event).__name__
+    if isinstance(event, RestoredEvent):
+        return {"kind": event.kind, "fields": event.fields, "detail": event.detail}
+    if dataclasses.is_dataclass(event) and not isinstance(event, type):
+        try:
+            fields = dataclasses.asdict(event)
+            json.dumps(fields)
+            return {"kind": kind, "fields": fields}
+        except (TypeError, ValueError):
+            pass
+    return {"kind": kind, "detail": repr(event)}
+
+
+def _event_from_payload(payload: dict) -> RestoredEvent:
+    return RestoredEvent(
+        payload.get("kind", "event"),
+        fields=payload.get("fields"),
+        detail=payload.get("detail", ""),
+    )
 
 
 @dataclass(frozen=True)
@@ -64,6 +160,33 @@ class Trial:
     def objective(self) -> Optional[float]:
         """Measured objective (higher is better); None for failed probes."""
         return self.measurement.objective
+
+    def to_payload(self) -> dict:
+        """A JSON-exact payload round-tripping through :meth:`from_payload`."""
+        return {
+            "index": self.index,
+            "config": dict(self.config),
+            "measurement": measurement_to_payload(self.measurement),
+            "cumulative_cost_s": self.cumulative_cost_s,
+            "round_index": self.round_index,
+            "cumulative_wall_clock_s": self.cumulative_wall_clock_s,
+            "launch_index": self.launch_index,
+            "shard": self.shard,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Trial":
+        """Inverse of :meth:`to_payload`."""
+        return cls(
+            index=int(payload["index"]),
+            config=dict(payload["config"]),
+            measurement=measurement_from_payload(payload["measurement"]),
+            cumulative_cost_s=float(payload["cumulative_cost_s"]),
+            round_index=int(payload["round_index"]),
+            cumulative_wall_clock_s=float(payload["cumulative_wall_clock_s"]),
+            launch_index=int(payload["launch_index"]),
+            shard=payload["shard"],
+        )
 
 
 class TrialHistory:
@@ -187,6 +310,42 @@ class TrialHistory:
         copy._cost_by_shard = dict(self._cost_by_shard)
         copy.events = list(self.events)
         return copy
+
+    def to_payload(self) -> dict:
+        """A JSON payload capturing the full history state.
+
+        Trials and both running cost ledgers round-trip bit-exactly
+        (``json`` serialises floats via ``repr``).  ``cost_by_shard`` is
+        encoded as ``[shard-or-null, seconds]`` pairs because JSON object
+        keys cannot be ``None``.  Events are serialised field-by-field
+        when JSON-safe and by ``repr`` otherwise (see
+        :class:`RestoredEvent`), so an inspected history preserves e.g. a
+        drift event's ``trial_index`` but not the original event class.
+        """
+        return {
+            "trials": [trial.to_payload() for trial in self._trials],
+            "total_cost_s": self.total_cost_s,
+            "total_wall_clock_s": self.total_wall_clock_s,
+            "cancelled_cost_s": self.cancelled_cost_s,
+            "cost_by_shard": [
+                [shard, cost] for shard, cost in self._cost_by_shard.items()
+            ],
+            "events": [_event_to_payload(event) for event in self.events],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TrialHistory":
+        """Inverse of :meth:`to_payload` (events become :class:`RestoredEvent`)."""
+        history = cls()
+        history._trials = [Trial.from_payload(item) for item in payload["trials"]]
+        history.total_cost_s = float(payload["total_cost_s"])
+        history.total_wall_clock_s = float(payload["total_wall_clock_s"])
+        history.cancelled_cost_s = float(payload["cancelled_cost_s"])
+        history._cost_by_shard = {
+            shard: float(cost) for shard, cost in payload["cost_by_shard"]
+        }
+        history.events = [_event_from_payload(item) for item in payload["events"]]
+        return history
 
     def cost_by_shard(self) -> Dict[Optional[str], float]:
         """Machine cost itemised per environment shard.

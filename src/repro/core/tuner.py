@@ -174,6 +174,35 @@ class MLConfigTuner(SearchStrategy):
         self._pending_retune = None
         self.probes_terminated_early = 0
 
+    def snapshot_state(self) -> Optional[dict]:
+        """Audit snapshot of the tuner's per-session state (not a restore
+        path — resume replays; see :meth:`SearchStrategy.snapshot_state`).
+
+        Includes a surrogate-cache fingerprint (training-set size and
+        fitted kernel hypers) so a checkpoint inspection can see how far
+        the GP had been trained when the snapshot was taken.
+        """
+        state: dict = {
+            "incumbent": self._incumbent,
+            "probes_terminated_early": self.probes_terminated_early,
+            "reprobe_queue": [dict(c) for c in self._reprobe_queue],
+            "refresh_remaining": self._refresh_remaining,
+            "shard_weights": dict(self._shard_weights),
+        }
+        proposer = self._proposer
+        if proposer is not None:
+            cache = getattr(proposer, "_objective_cache", None)
+            fingerprint: dict = {}
+            if cache is not None:
+                y = getattr(cache, "_y", None)
+                if y is not None:
+                    fingerprint["n"] = int(y.shape[0])
+                hypers = getattr(cache, "hypers", None)
+                if hypers is not None:
+                    fingerprint["hypers"] = [float(h) for h in hypers]
+            state["surrogate"] = fingerprint
+        return state
+
     def apply_retuning(
         self,
         before_index: int,

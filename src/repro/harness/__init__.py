@@ -1,6 +1,17 @@
 """Experiment harness: metrics, optimum estimation, comparisons, tables."""
 
 from repro.harness import metrics
+from repro.harness.chaos import (
+    ChaosKill,
+    KillSwitch,
+    kill_resume_cycle,
+    kill_resume_sweep,
+    result_fingerprint,
+    resume_session,
+    run_baseline,
+    run_with_kill,
+    tear_wal,
+)
 from repro.harness.comparison import (
     Comparison,
     StrategyOutcome,
@@ -19,11 +30,20 @@ from repro.harness.tables import (
 )
 
 __all__ = [
+    "ChaosKill",
     "Comparison",
+    "KillSwitch",
     "StrategyOutcome",
     "SweepCell",
     "ascii_chart",
     "clear_optimum_cache",
+    "kill_resume_cycle",
+    "kill_resume_sweep",
+    "result_fingerprint",
+    "resume_session",
+    "run_baseline",
+    "run_with_kill",
+    "tear_wal",
     "compare_strategies",
     "estimate_optimum",
     "fork_available",

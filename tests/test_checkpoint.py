@@ -1,0 +1,351 @@
+"""Tests for the checkpoint/resume subsystem's serialization and recovery.
+
+Covers the torn-write satellite end to end: payload round-trips at the
+bit level, WAL torn-tail quarantine, corrupt/truncated/empty snapshots,
+version mismatches, divergence detection, the durable trial log, and the
+repository quarantine — every failure produces a clean named error or
+recovers to the last durable record, never a raw ``json.JSONDecodeError``.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomSearch
+from repro.cluster import homogeneous
+from repro.configspace import ml_config_space
+from repro.core import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointConfig,
+    CheckpointError,
+    MLConfigTuner,
+    TuningBudget,
+)
+from repro.core.checkpoint import CheckpointJournal
+from repro.core.session import JsonlTrialLog, TuningSession
+from repro.core.transfer import HistoryRepository
+from repro.core.trial import (
+    RestoredEvent,
+    Trial,
+    TrialHistory,
+    measurement_from_payload,
+    measurement_to_payload,
+)
+from repro.mlsim import TrainingEnvironment
+from repro.workloads import get_workload
+
+NODES = 8
+
+
+def space():
+    return ml_config_space(NODES)
+
+
+def make_env(seed=0):
+    return TrainingEnvironment(
+        get_workload("resnet50-imagenet"), homogeneous(NODES), seed=seed
+    )
+
+
+def run_checkpointed(tmp_path, trials=8, seed=1, name="s.ckpt"):
+    ckpt = CheckpointConfig(str(tmp_path / name))
+    result = TuningSession(RandomSearch()).run(
+        make_env(), space(), TuningBudget(max_trials=trials), seed=seed,
+        checkpoint=ckpt,
+    )
+    return ckpt, result
+
+
+# -- payload round-trips -----------------------------------------------------
+
+
+def test_measurement_payload_roundtrip_is_bit_exact():
+    env = make_env()
+    rng = np.random.default_rng(0)
+    from repro.configspace import to_training_config
+
+    for _ in range(5):
+        config = space().sample(rng)
+        m = env.measure(to_training_config(config))
+        m2 = measurement_from_payload(
+            json.loads(json.dumps(measurement_to_payload(m)))
+        )
+        assert measurement_to_payload(m2) == measurement_to_payload(m)
+        assert m2.objective == m.objective
+        assert m2.tta_s == m.tta_s  # inf round-trips
+
+
+def test_history_payload_roundtrip_is_bit_exact():
+    result = TuningSession(RandomSearch()).run(
+        make_env(), space(), TuningBudget(max_trials=6), seed=3
+    )
+    history = result.history
+    history.record_event(RestoredEvent("marker", {"trial_index": 2}))
+    payload = json.loads(json.dumps(history.to_payload()))
+    restored = TrialHistory.from_payload(payload)
+    assert restored.to_payload() == history.to_payload()
+    assert restored.total_cost_s == history.total_cost_s
+    assert restored.total_wall_clock_s == history.total_wall_clock_s
+    assert restored.cost_by_shard() == history.cost_by_shard()
+    assert restored.events[-1].trial_index == 2
+
+
+def test_restored_event_preserves_fields_and_raises_on_missing():
+    event = RestoredEvent("DriftEvent", {"trial_index": 7})
+    assert event.trial_index == 7
+    with pytest.raises(AttributeError):
+        event.nonexistent
+
+
+# -- torn-write recovery -----------------------------------------------------
+
+
+def test_torn_final_wal_record_recovers_to_last_durable(tmp_path):
+    ckpt, baseline = run_checkpointed(tmp_path)
+    wal = ckpt.wal_path
+    size = os.path.getsize(wal)
+    with open(wal, "r+b") as handle:
+        handle.truncate(size - 7)  # mid-record
+    with pytest.warns(UserWarning, match="quarantined"):
+        result = TuningSession(RandomSearch()).resume(ckpt, make_env(), space())
+    # The torn tail re-probes live; the continuation is still identical.
+    assert result.history.to_payload() == baseline.history.to_payload()
+    assert os.path.exists(ckpt.quarantine_path)
+
+
+def test_corrupt_wal_middle_quarantines_suffix(tmp_path):
+    ckpt, baseline = run_checkpointed(tmp_path)
+    with open(ckpt.wal_path) as handle:
+        lines = handle.read().splitlines()
+    lines[3] = '{"type": %% garbage'
+    with open(ckpt.wal_path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    with pytest.warns(UserWarning, match="quarantined"):
+        result = TuningSession(RandomSearch()).resume(ckpt, make_env(), space())
+    assert result.history.to_payload() == baseline.history.to_payload()
+
+
+def test_truncated_snapshot_falls_back_to_wal_header(tmp_path):
+    ckpt, baseline = run_checkpointed(tmp_path)
+    with open(ckpt.path, "w") as handle:
+        handle.write('{"version": 1, "meta"')  # torn snapshot write
+    with pytest.warns(UserWarning, match="recovering session metadata"):
+        result = TuningSession(RandomSearch()).resume(ckpt, make_env(), space())
+    assert result.history.to_payload() == baseline.history.to_payload()
+
+
+def test_empty_snapshot_falls_back_to_wal_header(tmp_path):
+    ckpt, baseline = run_checkpointed(tmp_path)
+    open(ckpt.path, "w").close()
+    with pytest.warns(UserWarning, match="recovering session metadata"):
+        result = TuningSession(RandomSearch()).resume(ckpt, make_env(), space())
+    assert result.history.to_payload() == baseline.history.to_payload()
+
+
+def test_missing_wal_is_a_named_error(tmp_path):
+    ckpt = CheckpointConfig(str(tmp_path / "nothing.ckpt"))
+    with pytest.raises(CheckpointError, match="nothing to resume"):
+        TuningSession(RandomSearch()).resume(ckpt, make_env(), space())
+
+
+def test_both_snapshot_and_header_unreadable_is_a_named_error(tmp_path):
+    ckpt = CheckpointConfig(str(tmp_path / "s.ckpt"))
+    open(ckpt.path, "w").close()
+    with open(ckpt.wal_path, "w") as handle:
+        handle.write("not json at all\n")
+    with pytest.raises(CheckpointError, match="unreadable"):
+        TuningSession(RandomSearch()).resume(ckpt, make_env(), space())
+
+
+def test_version_mismatch_is_a_named_error(tmp_path):
+    ckpt, _ = run_checkpointed(tmp_path)
+    with open(ckpt.path) as handle:
+        snapshot = json.load(handle)
+    snapshot["version"] = CHECKPOINT_VERSION + 1
+    with open(ckpt.path, "w") as handle:
+        json.dump(snapshot, handle)
+    with pytest.raises(CheckpointError, match="version"):
+        TuningSession(RandomSearch()).restore(ckpt, make_env(), space())
+    with pytest.raises(CheckpointError, match="version"):
+        Checkpoint.load(ckpt.path)
+
+
+def test_wal_header_version_mismatch_is_a_named_error(tmp_path):
+    ckpt, _ = run_checkpointed(tmp_path)
+    os.unlink(ckpt.path)
+    with open(ckpt.wal_path) as handle:
+        lines = handle.read().splitlines()
+    header = json.loads(lines[0])
+    header["version"] = CHECKPOINT_VERSION + 1
+    lines[0] = json.dumps(header)
+    with open(ckpt.wal_path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    with pytest.raises(CheckpointError, match="version"):
+        CheckpointJournal.load(ckpt)
+
+
+# -- fingerprint/divergence validation ---------------------------------------
+
+
+def test_resume_with_wrong_strategy_is_rejected(tmp_path):
+    ckpt, _ = run_checkpointed(tmp_path)
+    with pytest.raises(CheckpointError, match="strategy"):
+        TuningSession(MLConfigTuner()).restore(ckpt, make_env(), space())
+
+
+def test_resume_with_wrong_space_is_rejected(tmp_path):
+    ckpt, _ = run_checkpointed(tmp_path)
+    with pytest.raises(CheckpointError, match="search space"):
+        TuningSession(RandomSearch()).restore(
+            ckpt, make_env(), ml_config_space(NODES * 2)
+        )
+
+
+def test_resume_with_wrong_executor_is_rejected(tmp_path):
+    from repro.core.session import AsyncExecutor
+
+    ckpt, _ = run_checkpointed(tmp_path)
+    with pytest.raises(CheckpointError, match="executor"):
+        TuningSession(RandomSearch(), executor=AsyncExecutor(4)).restore(
+            ckpt, make_env(), space()
+        )
+
+
+def test_resume_with_different_seed_diverges_loudly(tmp_path):
+    ckpt, _ = run_checkpointed(tmp_path, seed=1)
+    with open(ckpt.path) as handle:
+        snapshot = json.load(handle)
+    snapshot["meta"]["seed"] = 2  # simulate operator error
+    with open(ckpt.path, "w") as handle:
+        json.dump(snapshot, handle)
+    session = TuningSession(RandomSearch())
+    with pytest.raises(CheckpointError, match="diverged"):
+        session.restore(ckpt, make_env(), space())
+        while session.step():
+            pass
+
+
+# -- inspection surface ------------------------------------------------------
+
+
+def test_checkpoint_load_reports_progress(tmp_path):
+    ckpt, result = run_checkpointed(tmp_path, trials=8)
+    loaded = Checkpoint.load(ckpt.path)
+    assert loaded.version == CHECKPOINT_VERSION
+    assert loaded.status == "complete"
+    assert len(loaded.history) == 8
+    assert loaded.wal_trials == 8
+    assert loaded.wal_probes >= 8
+    assert loaded.meta["seed"] == 1
+    assert loaded.meta["budget"]["max_trials"] == 8
+    assert loaded.history.to_payload() == result.history.to_payload()
+
+
+def test_snapshot_cadence_bounds_snapshot_staleness(tmp_path):
+    ckpt = CheckpointConfig(str(tmp_path / "s.ckpt"), every_n_trials=4)
+
+    class Kill(Exception):
+        pass
+
+    from repro.core.session import SessionCallback
+
+    class Killer(SessionCallback):
+        def on_trial_end(self, trial):
+            if trial.index == 5:
+                raise Kill()
+
+    session = TuningSession(RandomSearch(), callbacks=[Killer()])
+    with pytest.raises(Kill):
+        session.run(
+            make_env(), space(), TuningBudget(max_trials=8), seed=1,
+            checkpoint=ckpt,
+        )
+    loaded = Checkpoint.load(ckpt.path)
+    # Snapshot refreshed at trial 4; WAL is per-probe durable beyond it.
+    assert len(loaded.history) == 4
+    assert loaded.wal_trials == 6
+    assert loaded.status == "running"
+
+
+def test_strategy_snapshot_state_is_recorded_for_bo(tmp_path):
+    ckpt = CheckpointConfig(str(tmp_path / "s.ckpt"))
+    TuningSession(MLConfigTuner(n_initial=4)).run(
+        make_env(), space(), TuningBudget(max_trials=6), seed=2, checkpoint=ckpt
+    )
+    loaded = Checkpoint.load(ckpt.path)
+    state = loaded.strategy_state
+    assert state is not None
+    assert state["incumbent"] is not None
+    assert state["surrogate"]["n"] >= 4
+
+
+# -- durable trial log -------------------------------------------------------
+
+
+def test_durable_trial_log_matches_buffered(tmp_path):
+    buffered, durable = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+    TuningSession(RandomSearch(), callbacks=[JsonlTrialLog(buffered)]).run(
+        make_env(), space(), TuningBudget(max_trials=5), seed=4
+    )
+    TuningSession(
+        RandomSearch(), callbacks=[JsonlTrialLog(durable, durable=True)]
+    ).run(make_env(), space(), TuningBudget(max_trials=5), seed=4)
+    with open(buffered) as a, open(durable) as b:
+        assert a.read() == b.read()
+
+
+# -- repository quarantine ---------------------------------------------------
+
+
+def _write_repo_with_corruption(path):
+    repo = HistoryRepository(str(path))
+    repo.add_session("w1", [({"a": 1}, 1.0), ({"a": 2}, 2.0)])
+    repo.add_session("w2", [({"a": 3}, 3.0), ({"a": 4}, 4.0)])
+    with open(path, "a") as handle:
+        handle.write("{torn json line\n")
+        handle.write('["not", "an", "object"]\n')
+
+
+def test_repository_quarantines_corrupt_lines(tmp_path):
+    path = tmp_path / "history.jsonl"
+    _write_repo_with_corruption(path)
+    with pytest.warns(UserWarning, match=r"history\.jsonl:3"):
+        repo = HistoryRepository(str(path))
+    assert len(repo) == 2
+    assert repo.quarantined_lines == 2
+    assert sorted(repo.workloads()) == ["w1", "w2"]
+    with open(str(path) + ".quarantine") as handle:
+        assert len(handle.read().splitlines()) == 2
+
+
+def test_repository_strict_mode_still_fails_loudly(tmp_path):
+    path = tmp_path / "history.jsonl"
+    _write_repo_with_corruption(path)
+    with pytest.raises(ValueError, match="corrupt repository line"):
+        HistoryRepository(str(path), strict=True)
+
+
+def test_repository_quarantine_keeps_writes_working(tmp_path):
+    path = tmp_path / "history.jsonl"
+    _write_repo_with_corruption(path)
+    with pytest.warns(UserWarning):
+        repo = HistoryRepository(str(path))
+    repo.add_session("w3", [({"a": 5}, 5.0), ({"a": 6}, 6.0)])
+    clean = HistoryRepository(str(path))  # no warning: file was rewritten
+    assert len(clean) == 3
+
+
+# -- config validation -------------------------------------------------------
+
+
+def test_checkpoint_config_validation():
+    with pytest.raises(ValueError):
+        CheckpointConfig("")
+    with pytest.raises(ValueError):
+        CheckpointConfig("x.ckpt", every_n_trials=0)
+    ckpt = CheckpointConfig("x.ckpt")
+    assert ckpt.wal_path == "x.ckpt.wal"
+    assert ckpt.quarantine_path == "x.ckpt.wal.quarantine"

@@ -211,13 +211,25 @@ class TestHistoryRepository:
         with pytest.raises(ValueError):
             repo.add_session("w", self._observations(n=1))
 
-    def test_corrupt_line_raises_with_location(self, tmp_path):
+    def test_corrupt_line_raises_with_location_in_strict_mode(self, tmp_path):
         path = os.path.join(tmp_path, "h.jsonl")
         with open(path, "w") as fh:
             fh.write('{"workload": "w", "observations": []}\n')
             fh.write("not json\n")
         with pytest.raises(ValueError, match="h.jsonl:2"):
-            HistoryRepository(path)
+            HistoryRepository(path, strict=True)
+
+    def test_corrupt_line_quarantined_by_default(self, tmp_path):
+        path = os.path.join(tmp_path, "h.jsonl")
+        with open(path, "w") as fh:
+            fh.write('{"workload": "w", "observations": []}\n')
+            fh.write("not json\n")
+        with pytest.warns(UserWarning, match="h.jsonl:2"):
+            repo = HistoryRepository(path)
+        assert repo.quarantined_lines == 1
+        assert len(repo) == 1
+        with open(repo.quarantine_path) as fh:
+            assert fh.read() == "not json\n"
 
     def test_missing_file_is_empty(self, tmp_path):
         repo = HistoryRepository(os.path.join(tmp_path, "absent.jsonl"))
